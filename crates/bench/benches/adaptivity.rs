@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks: cost of the adaptive organisations
+//! relative to a plain cache (the "extra work" of shadow arrays, history
+//! updates and Algorithm-1 victim search).
+
+use adaptive_cache::{
+    AdaptiveCache, AdaptiveConfig, HistoryKind, MissHistory, MultiAdaptiveCache, MultiConfig,
+    SbarCache, SbarConfig,
+};
+use cache_sim::{BlockAddr, Cache, CacheModel, Geometry, PolicyKind, TagMode};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn addresses(n: usize) -> Vec<BlockAddr> {
+    let mut x = 0xDEAD_BEEFu64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            BlockAddr::new(x % 20_000)
+        })
+        .collect()
+}
+
+fn bench_organisations(c: &mut Criterion) {
+    let geom = Geometry::new(512 * 1024, 64, 8).unwrap();
+    let addrs = addresses(10_000);
+    let mut group = c.benchmark_group("l2_organisation");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+
+    group.bench_function("plain_lru", |b| {
+        let mut cache = Cache::new(geom, PolicyKind::Lru, 7);
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(cache.access(a, false));
+            }
+        });
+    });
+    for (name, cfg) in [
+        ("adaptive_full", AdaptiveConfig::paper_full_tags()),
+        ("adaptive_8bit", AdaptiveConfig::paper_default()),
+        (
+            "adaptive_4bit",
+            AdaptiveConfig::paper_default().shadow_tag_mode(TagMode::PartialLow { bits: 4 }),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut cache = AdaptiveCache::new(geom, cfg, 7);
+            b.iter(|| {
+                for &a in &addrs {
+                    black_box(cache.access(a, false));
+                }
+            });
+        });
+    }
+    group.bench_function("sbar", |b| {
+        let mut cache = SbarCache::new(geom, SbarConfig::paper_default(), 7);
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(cache.access(a, false));
+            }
+        });
+    });
+    group.bench_function("multi_x5", |b| {
+        let mut cache = MultiAdaptiveCache::new(geom, MultiConfig::paper_five_policy(), 7);
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(cache.access(a, false));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miss_history");
+    for (name, kind) in [
+        ("bitvec8", HistoryKind::BitVector { m: 8 }),
+        ("counters", HistoryKind::Counters),
+        ("saturating6", HistoryKind::Saturating { bits: 6 }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut h = MissHistory::new(kind);
+            b.iter(|| {
+                for i in 0..1000u32 {
+                    h.record(i % 3 == 0, i % 5 == 0);
+                    black_box(h.winner());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_organisations, bench_history);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks: raw cache-access throughput of the
+//! substrate structures (the simulator's innermost loops).
+
+use cache_sim::{Address, BlockAddr, Cache, CacheModel, Geometry, PolicyKind, TagArray, TagMode};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn addresses(n: usize) -> Vec<BlockAddr> {
+    // Deterministic scattered stream with reuse.
+    let mut x = 0x1234_5678u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            BlockAddr::new(x % 20_000)
+        })
+        .collect()
+}
+
+fn bench_plain_policies(c: &mut Criterion) {
+    let geom = Geometry::new(512 * 1024, 64, 8).unwrap();
+    let addrs = addresses(10_000);
+    let mut group = c.benchmark_group("cache_access");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for policy in PolicyKind::all() {
+        group.bench_function(policy.to_string(), |b| {
+            let mut cache = Cache::new(geom, policy, 7);
+            b.iter(|| {
+                for &a in &addrs {
+                    black_box(cache.access(a, false));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tag_array_modes(c: &mut Criterion) {
+    let geom = Geometry::new(512 * 1024, 64, 8).unwrap();
+    let addrs = addresses(10_000);
+    let mut group = c.benchmark_group("tag_array");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for (name, mode) in [
+        ("full", TagMode::Full),
+        ("partial8", TagMode::PartialLow { bits: 8 }),
+        ("xor8", TagMode::PartialXor { bits: 8 }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut tags = TagArray::new(geom, mode, PolicyKind::Lru, 7);
+            b.iter(|| {
+                for &a in &addrs {
+                    black_box(tags.access(a));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_geometry_decompose(c: &mut Criterion) {
+    let geom = Geometry::new(512 * 1024, 64, 8).unwrap();
+    c.bench_function("geometry_decompose", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for raw in 0..10_000u64 {
+                let block = geom.block_of(Address::new(raw * 64));
+                acc ^= geom.tag(block) + geom.set_index(block) as u64;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_plain_policies,
+    bench_tag_array_modes,
+    bench_geometry_decompose
+);
+criterion_main!(benches);

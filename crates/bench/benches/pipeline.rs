@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks: cycle-model throughput (timed pipeline vs
+//! functional cache-only runs), which bounds every figure's wall-clock.
+
+use cache_sim::{Cache, Geometry, PolicyKind};
+use cpu_model::{run_functional, CpuConfig, Hierarchy, Pipeline};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use workloads::primary_suite;
+
+fn bench_timed_pipeline(c: &mut Criterion) {
+    let bench = primary_suite()
+        .into_iter()
+        .find(|b| b.name == "equake")
+        .unwrap();
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(20_000));
+    group.bench_function("timed_lru_l2", |b| {
+        b.iter(|| {
+            let mut pipe = Pipeline::with_lru_l2(CpuConfig::paper_default());
+            black_box(pipe.run(bench.spec.generator(), 20_000).cycles)
+        });
+    });
+    group.bench_function("functional_lru_l2", |b| {
+        let config = CpuConfig::paper_default();
+        let geom = Geometry::new(
+            config.l2.size_bytes,
+            config.l2.line_bytes,
+            config.l2.associativity,
+        )
+        .unwrap();
+        b.iter(|| {
+            let mut h = Hierarchy::new(&config, Cache::new(geom, PolicyKind::Lru, 1));
+            black_box(run_functional(&mut h, bench.spec.generator(), 20_000).l2_misses)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_timed_pipeline);
+criterion_main!(benches);

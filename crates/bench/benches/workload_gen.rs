@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks: instruction-stream generation throughput
+//! per archetype (the simulator must never be generator-bound).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use workloads::{extended_suite, primary_suite};
+
+fn bench_archetypes(c: &mut Criterion) {
+    let suite = primary_suite();
+    let mut group = c.benchmark_group("trace_gen");
+    group.throughput(Throughput::Elements(10_000));
+    for name in ["applu", "art-1", "mcf", "parser", "ammp"] {
+        let bench = suite.iter().find(|b| b.name == name).unwrap().clone();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for inst in bench.spec.generator().take(10_000) {
+                    total ^= inst.pc;
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_suite_construction(c: &mut Criterion) {
+    c.bench_function("extended_suite_construction", |b| {
+        b.iter(|| black_box(extended_suite()).len())
+    });
+}
+
+criterion_group!(benches, bench_archetypes, bench_suite_construction);
+criterion_main!(benches);

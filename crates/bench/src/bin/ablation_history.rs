@@ -1,0 +1,10 @@
+//! Ablation: miss-history buffer variants (bit-vector window sizes,
+//! counters, saturating counters).
+
+use bench::{emit, timed};
+use experiments::{ablation, default_insts};
+
+fn main() {
+    let t = timed("ablation_history", || ablation::history_ablation(default_insts()));
+    emit(&t, "ablation_history");
+}

@@ -1,0 +1,9 @@
+//! Ablation: LFU counter width for the plain and adaptive caches.
+
+use bench::{emit, timed};
+use experiments::{ablation, default_insts};
+
+fn main() {
+    let t = timed("ablation_lfu", || ablation::lfu_counter_ablation(default_insts()));
+    emit(&t, "ablation_lfu");
+}

@@ -1,0 +1,9 @@
+//! Ablation: SBAR leader-set count vs quality and overhead.
+
+use bench::{emit, timed};
+use experiments::{ablation, default_insts};
+
+fn main() {
+    let t = timed("ablation_sbar", || ablation::sbar_leader_ablation(default_insts()));
+    emit(&t, "ablation_sbar");
+}

@@ -1,0 +1,9 @@
+//! Ablation: low-order vs XOR-folded partial tags.
+
+use bench::{emit, timed};
+use experiments::{ablation, default_insts};
+
+fn main() {
+    let t = timed("ablation_xor_tags", || ablation::xor_tag_ablation(default_insts()));
+    emit(&t, "ablation_xor_tags");
+}

@@ -1,0 +1,158 @@
+//! `cachesim` — a JSON-driven command-line front end for the simulator.
+//!
+//! Usage:
+//!   cargo run --release -p bench --bin cachesim -- run.json
+//!   cargo run --release -p bench --bin cachesim -- --template > run.json
+//!
+//! The JSON file describes one run: a workload (a suite benchmark by
+//! name, an inline `WorkloadSpec`, or a recorded trace file), an L2
+//! organisation, the mode (functional or timed) and the instruction
+//! budget. Results are printed as JSON on stdout.
+
+use cache_sim::Geometry;
+use cpu_model::{run_functional, CpuConfig, Hierarchy, Pipeline};
+use experiments::L2Kind;
+use serde::{Deserialize, Serialize};
+use workloads::{extended_suite, trace_io, Inst, WorkloadSpec};
+
+/// One simulation request.
+#[derive(Debug, Serialize, Deserialize)]
+struct RunRequest {
+    /// Benchmark name from the built-in suite (see
+    /// `policy_explorer -- --list`). Mutually exclusive with `spec` and
+    /// `trace_file`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    benchmark: Option<String>,
+    /// Inline workload specification.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    spec: Option<WorkloadSpec>,
+    /// Path to a recorded `.actr` binary trace.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    trace_file: Option<String>,
+    /// The L2 organisation under test.
+    l2: L2Kind,
+    /// `"functional"` (miss rates only, fast) or `"timed"` (full CPI).
+    mode: String,
+    /// Instructions to run.
+    insts: u64,
+    /// Processor configuration (defaults to the paper's Table 1).
+    #[serde(default = "CpuConfig::paper_default")]
+    cpu: CpuConfig,
+}
+
+#[derive(Debug, Serialize)]
+struct RunReply {
+    workload: String,
+    l2: String,
+    mode: String,
+    instructions: u64,
+    l2_misses: u64,
+    l2_mpki: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    cycles: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    cpi: Option<f64>,
+}
+
+fn template() -> RunRequest {
+    RunRequest {
+        benchmark: Some("art-1".to_string()),
+        spec: None,
+        trace_file: None,
+        l2: L2Kind::Adaptive(adaptive_cache::AdaptiveConfig::paper_default()),
+        mode: "timed".to_string(),
+        insts: 2_000_000,
+        cpu: CpuConfig::paper_default(),
+    }
+}
+
+fn load_trace(req: &RunRequest) -> (String, Vec<Inst>) {
+    if let Some(name) = &req.benchmark {
+        let suite = extended_suite();
+        let b = suite
+            .iter()
+            .find(|b| &b.name == name)
+            .unwrap_or_else(|| die(&format!("unknown benchmark {name}")));
+        (
+            name.clone(),
+            b.spec.generator().take(req.insts as usize).collect(),
+        )
+    } else if let Some(spec) = &req.spec {
+        (
+            "inline spec".to_string(),
+            spec.generator().take(req.insts as usize).collect(),
+        )
+    } else if let Some(path) = &req.trace_file {
+        let file = std::fs::File::open(path)
+            .unwrap_or_else(|e| die(&format!("cannot open {path}: {e}")));
+        let trace = trace_io::read_binary(std::io::BufReader::new(file))
+            .unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")));
+        (path.clone(), trace)
+    } else {
+        die("one of benchmark / spec / trace_file is required")
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("cachesim: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg == "--template" {
+        println!("{}", serde_json::to_string_pretty(&template()).unwrap());
+        return;
+    }
+    if arg.is_empty() || arg.starts_with("--") {
+        die("usage: cachesim <run.json> | cachesim --template");
+    }
+
+    let text = std::fs::read_to_string(&arg)
+        .unwrap_or_else(|e| die(&format!("cannot read {arg}: {e}")));
+    let req: RunRequest =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("bad config: {e}")));
+
+    let (workload, trace) = load_trace(&req);
+    let geom = Geometry::new(
+        req.cpu.l2.size_bytes,
+        req.cpu.l2.line_bytes,
+        req.cpu.l2.associativity,
+    )
+    .unwrap_or_else(|e| die(&format!("bad L2 geometry: {e}")));
+    let l2 = req.l2.build(geom);
+    let n = trace.len() as u64;
+
+    let reply = match req.mode.as_str() {
+        "functional" => {
+            let mut h = Hierarchy::new(&req.cpu, l2);
+            let s = run_functional(&mut h, trace.into_iter(), n);
+            RunReply {
+                workload,
+                l2: req.l2.label(),
+                mode: req.mode,
+                instructions: s.instructions,
+                l2_misses: s.l2_misses,
+                l2_mpki: s.l2_mpki(),
+                cycles: None,
+                cpi: None,
+            }
+        }
+        "timed" => {
+            let mut pipe = Pipeline::new(req.cpu, l2);
+            let s = pipe.run(trace.into_iter(), n);
+            RunReply {
+                workload,
+                l2: req.l2.label(),
+                mode: req.mode,
+                instructions: s.instructions,
+                l2_misses: s.l2.misses,
+                l2_mpki: s.l2_mpki(),
+                cycles: Some(s.cycles),
+                cpi: Some(s.cpi()),
+            }
+        }
+        other => die(&format!("unknown mode {other:?} (functional|timed)")),
+    };
+    println!("{}", serde_json::to_string_pretty(&reply).unwrap());
+}

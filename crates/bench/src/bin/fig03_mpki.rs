@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 3: L2 MPKI for the adaptive LRU/LFU
+//! cache and its two component policies over the 26-benchmark primary set.
+//!
+//! Usage: `cargo run --release -p bench --bin fig03_mpki`
+//! (set `AC_INSTS` to change the per-benchmark instruction budget).
+
+use bench::{emit, timed};
+use experiments::{default_insts, figures};
+
+fn main() {
+    let t = timed("fig03", || figures::fig03_mpki(default_insts()));
+    emit(&t, "fig03_mpki");
+}

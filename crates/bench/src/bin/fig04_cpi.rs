@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 4: CPI for the adaptive LRU/LFU cache
+//! and its two component policies over the primary set.
+
+use bench::{emit, timed};
+use experiments::{default_insts, figures};
+
+fn main() {
+    let t = timed("fig04", || figures::fig04_cpi(default_insts()));
+    emit(&t, "fig04_cpi");
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 5: effect of partial-tag size on the
+//! primary-set average MPKI and CPI.
+
+use bench::{emit, timed};
+use experiments::{default_insts, figures};
+
+fn main() {
+    let t = timed("fig05", || figures::fig05_partial_tags(default_insts()));
+    emit(&t, "fig05_partial_tags");
+}

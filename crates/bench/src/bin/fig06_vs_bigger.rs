@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 6: CPI of partially-tagged adaptive
+//! replacement vs increasing the size/associativity of a conventional
+//! cache (+4.0% storage vs +12.5% / +25%).
+
+use bench::{emit, timed};
+use experiments::{default_insts, figures};
+
+fn main() {
+    let t = timed("fig06", || figures::fig06_vs_bigger(default_insts()));
+    emit(&t, "fig06_vs_bigger");
+}

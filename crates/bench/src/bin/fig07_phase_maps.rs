@@ -1,0 +1,23 @@
+//! Regenerates the paper's Figure 7: per-set replacement-choice phase
+//! maps for ammp and mgrid ('#' = LRU-majority/dark, '.' = LFU/white).
+
+use bench::timed;
+use experiments::{default_insts, figures};
+use std::path::Path;
+
+fn main() {
+    let insts = default_insts().max(2_000_000);
+    for name in ["ammp", "mgrid"] {
+        let map = timed(&format!("fig07 {name}"), || {
+            figures::fig07_phase_map(name, insts, 100_000, 32)
+        });
+        println!("{name}: sets (bottom=set 0) vs time (left to right)");
+        println!("{}", map.ascii());
+        let table = map.to_table();
+        if let Err(e) =
+            table.write_artifacts(Path::new("results"), &format!("fig07_{name}"))
+        {
+            eprintln!("warning: {e}");
+        }
+    }
+}

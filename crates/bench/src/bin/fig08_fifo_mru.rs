@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 8: L2 MPKI adapting between FIFO and
+//! MRU over the primary set.
+
+use bench::{emit, timed};
+use experiments::{default_insts, figures};
+
+fn main() {
+    let t = timed("fig08", || figures::fig08_fifo_mru(default_insts()));
+    emit(&t, "fig08_fifo_mru");
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 9: overall benefit (CPI improvement,
+//! miss reduction) vs associativity at 512 KB.
+
+use bench::{emit, timed};
+use experiments::{default_insts, figures};
+
+fn main() {
+    let t = timed("fig09", || figures::fig09_associativity(default_insts()));
+    emit(&t, "fig09_associativity");
+}

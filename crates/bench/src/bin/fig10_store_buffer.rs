@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 10: effect of store-buffer size on the
+//! adaptive benefit (note the paper's irregular x axis).
+
+use bench::{emit, timed};
+use experiments::{default_insts, figures};
+
+fn main() {
+    let t = timed("fig10", || figures::fig10_store_buffer(default_insts()));
+    emit(&t, "fig10_store_buffer");
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Section 4.2 headline scalars (avg miss reduction, avg
+//! CPI improvement, worst cases) over the primary and extended suites.
+
+use bench::{emit, timed};
+use experiments::{default_insts, figures};
+
+fn main() {
+    let t = timed("headline", || figures::headline(default_insts()));
+    emit(&t, "headline");
+}

@@ -1,0 +1,39 @@
+//! The paper's future-work experiment: adaptive replacement for a shared
+//! L2 fed by two dissimilar threads.
+
+use adaptive_cache::AdaptiveConfig;
+use bench::{emit, timed};
+use cache_sim::PolicyKind;
+use experiments::multicore::{paper_future_work_pairs, run_shared_l2};
+use experiments::{default_insts, L2Kind, Table};
+use workloads::primary_suite;
+
+fn main() {
+    let insts = default_insts();
+    let suite = primary_suite();
+    let kinds = [
+        L2Kind::Adaptive(AdaptiveConfig::paper_full_tags()),
+        L2Kind::Plain(PolicyKind::LFU5),
+        L2Kind::Plain(PolicyKind::Lru),
+    ];
+    let mut t = Table::new(
+        "Future work: shared L2 with two dissimilar threads (combined L2 MPKI)",
+        "pair",
+        kinds.iter().map(|k| k.label()).collect(),
+    );
+    for (a, b) in paper_future_work_pairs() {
+        let pair: Vec<_> = [a, b]
+            .iter()
+            .map(|n| suite.iter().find(|x| x.name == *n).unwrap())
+            .collect();
+        let row = timed(&format!("multicore {a}+{b}"), || {
+            kinds
+                .iter()
+                .map(|k| run_shared_l2(&pair, k, insts / 2).l2_mpki())
+                .collect::<Vec<_>>()
+        });
+        t.push_row(format!("{a}+{b}"), row);
+    }
+    t.push_average();
+    emit(&t, "multicore_shared_l2");
+}

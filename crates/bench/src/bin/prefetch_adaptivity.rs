@@ -1,0 +1,53 @@
+//! The paper's second future-work experiment: adaptive hybrid hardware
+//! prefetching ("hit/miss is replaced with useful/not-useful prefetch").
+//! Compares no prefetching, next-line, stride and the adaptive hybrid on
+//! the primary suite (demand L2 MPKI, prefetch accuracy).
+
+use bench::{emit, timed};
+use cache_sim::{Cache, Geometry, PolicyKind};
+use cpu_model::prefetch::PrefetchKind;
+use cpu_model::{run_functional, CpuConfig, Hierarchy};
+use experiments::{default_insts, Table};
+use workloads::primary_suite;
+
+fn main() {
+    let insts = default_insts();
+    let kinds = [
+        ("none", PrefetchKind::None),
+        ("next-line", PrefetchKind::NextLine),
+        ("stride", PrefetchKind::Stride),
+        ("adaptive", PrefetchKind::Adaptive),
+    ];
+    let cfg = CpuConfig::paper_default();
+    let geom = Geometry::new(
+        cfg.l2.size_bytes,
+        cfg.l2.line_bytes,
+        cfg.l2.associativity,
+    )
+    .unwrap();
+
+    let mut t = Table::new(
+        "Future work: L2 prefetching (demand L2 MPKI)",
+        "benchmark",
+        kinds.iter().map(|(n, _)| n.to_string()).collect(),
+    );
+    let suite = primary_suite();
+    let rows = timed("prefetch sweep", || {
+        experiments::runner::parallel_map(&suite, |b| {
+            let row: Vec<f64> = kinds
+                .iter()
+                .map(|(_, k)| {
+                    let mut h = Hierarchy::new(&cfg, Cache::new(geom, PolicyKind::Lru, 7));
+                    h.set_prefetcher(k.build());
+                    run_functional(&mut h, b.spec.generator(), insts).l2_mpki()
+                })
+                .collect();
+            (b.name.clone(), row)
+        })
+    });
+    for (name, row) in rows {
+        t.push_row(name, row);
+    }
+    t.push_average();
+    emit(&t, "prefetch_adaptivity");
+}

@@ -1,0 +1,42 @@
+//! Related-work comparison: the paper's adaptive cache vs DIP set dueling
+//! (Qureshi et al., ISCA 2007) — the set-dueling successor that the
+//! paper's SBAR experiment anticipated. DIP needs no shadow tags at all
+//! but can only modulate LRU's *insertion* position; the adaptive cache
+//! can combine arbitrary policies.
+
+use adaptive_cache::{AdaptiveConfig, DipConfig, SbarConfig};
+use bench::{emit, timed};
+use cache_sim::PolicyKind;
+use experiments::runner::parallel_map;
+use experiments::{default_insts, run_functional_l2, L2Kind, Table, PAPER_L2};
+use workloads::primary_suite;
+
+fn main() {
+    let insts = default_insts();
+    let kinds = [
+        ("LRU", L2Kind::Plain(PolicyKind::Lru)),
+        ("Adaptive", L2Kind::Adaptive(AdaptiveConfig::paper_full_tags())),
+        ("SBAR", L2Kind::Sbar(SbarConfig::paper_default())),
+        ("DIP", L2Kind::Dip(DipConfig::paper_default())),
+    ];
+    let mut t = Table::new(
+        "Related work: adaptive replacement vs DIP set dueling (L2 MPKI)",
+        "benchmark",
+        kinds.iter().map(|(n, _)| n.to_string()).collect(),
+    );
+    let suite = primary_suite();
+    let rows = timed("related_dip", || {
+        parallel_map(&suite, |b| {
+            let row: Vec<f64> = kinds
+                .iter()
+                .map(|(_, k)| run_functional_l2(b, k, PAPER_L2, insts).stats.l2_mpki())
+                .collect();
+            (b.name.clone(), row)
+        })
+    });
+    for (name, row) in rows {
+        t.push_row(name, row);
+    }
+    t.push_average();
+    emit(&t, "related_dip");
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Section 4.4 comparison: five-policy adaptivity vs
+//! LRU/LFU adaptivity.
+
+use bench::{emit, timed};
+use experiments::{default_insts, figures};
+
+fn main() {
+    let t = timed("sec44", || figures::sec44_five_policy(default_insts()));
+    emit(&t, "sec44_five_policy");
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Section 4.6 numbers: LRU/LFU-adaptive L1 instruction
+//! and data caches.
+
+use bench::{emit, timed};
+use experiments::{default_insts, figures};
+
+fn main() {
+    let t = timed("sec46", || figures::sec46_l1_adaptivity(default_insts()));
+    emit(&t, "sec46_l1");
+}

@@ -1,0 +1,13 @@
+//! Regenerates the Section 4.7 comparison: SBAR-like set sampling vs the
+//! full adaptive cache, plus the storage-overhead table.
+
+use bench::{emit, timed};
+use experiments::figures::sec47::{sec47_overheads, sec47_sbar};
+use experiments::default_insts;
+
+fn main() {
+    let t = timed("sec47", || sec47_sbar(default_insts()));
+    emit(&t, "sec47_sbar");
+    let o = sec47_overheads();
+    emit(&o, "sec47_overheads");
+}

@@ -1,0 +1,59 @@
+//! Synthesis experiment: use this crate's generality to combine the
+//! paper's idea with its successor — an adaptive cache whose components
+//! are **BIP** (DIP's thrash-protecting insertion policy) and **LFU**
+//! (frequency protection). Neither the 2006 paper nor the 2007 DIP paper
+//! evaluated this pairing; the paper's framework makes it a configuration
+//! change.
+
+use adaptive_cache::{AdaptiveConfig, DipConfig};
+use bench::{emit, timed};
+use cache_sim::PolicyKind;
+use experiments::runner::parallel_map;
+use experiments::{default_insts, run_functional_l2, L2Kind, Table, PAPER_L2};
+use workloads::primary_suite;
+
+fn main() {
+    let insts = default_insts();
+    let kinds = [
+        ("LRU", L2Kind::Plain(PolicyKind::Lru)),
+        (
+            "Adaptive LRU/LFU",
+            L2Kind::Adaptive(AdaptiveConfig::paper_full_tags()),
+        ),
+        ("DIP", L2Kind::Dip(DipConfig::paper_default())),
+        (
+            "Adaptive BIP/LFU",
+            L2Kind::Adaptive(AdaptiveConfig::with_policies(
+                PolicyKind::Bip,
+                PolicyKind::LFU5,
+            )),
+        ),
+        (
+            "Adaptive BIP/LRU",
+            L2Kind::Adaptive(AdaptiveConfig::with_policies(
+                PolicyKind::Bip,
+                PolicyKind::Lru,
+            )),
+        ),
+    ];
+    let mut t = Table::new(
+        "Synthesis: adaptivity over DIP's insertion policy (L2 MPKI)",
+        "benchmark",
+        kinds.iter().map(|(n, _)| n.to_string()).collect(),
+    );
+    let suite = primary_suite();
+    let rows = timed("synthesis", || {
+        parallel_map(&suite, |b| {
+            let row: Vec<f64> = kinds
+                .iter()
+                .map(|(_, k)| run_functional_l2(b, k, PAPER_L2, insts).stats.l2_mpki())
+                .collect();
+            (b.name.clone(), row)
+        })
+    });
+    for (name, row) in rows {
+        t.push_row(name, row);
+    }
+    t.push_average();
+    emit(&t, "synthesis");
+}

@@ -1,0 +1,7 @@
+//! Prints Table 1 (the simulated processor configuration).
+
+use experiments::figures::table1_config;
+
+fn main() {
+    println!("{}", table1_config());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the Section 3.2 storage-overhead arithmetic.
+
+use bench::emit;
+use experiments::figures::storage_table;
+
+fn main() {
+    emit(&storage_table(), "table_storage");
+}

@@ -1,0 +1,22 @@
+//! Shared plumbing for the figure-regeneration binaries (`src/bin/`) and
+//! the criterion micro-benchmarks (`benches/`).
+
+use experiments::Table;
+use std::path::Path;
+
+/// Prints a table and writes `results/<stem>.{csv,json}`.
+pub fn emit(table: &Table, stem: &str) {
+    println!("{table}");
+    if let Err(e) = table.write_artifacts(Path::new("results"), stem) {
+        eprintln!("warning: could not write results/{stem}: {e}");
+    }
+}
+
+/// Runs `f` with wall-clock reporting on stderr.
+pub fn timed<T>(what: &str, f: impl FnOnce() -> T) -> T {
+    eprintln!("{what}: running ...");
+    let start = std::time::Instant::now();
+    let out = f();
+    eprintln!("{what}: done in {:.1}s", start.elapsed().as_secs_f64());
+    out
+}

@@ -1,0 +1,161 @@
+//! Address newtypes.
+//!
+//! Two distinct address spaces appear throughout the simulator:
+//!
+//! * [`Address`] — a byte address as issued by a load/store or instruction
+//!   fetch, and
+//! * [`BlockAddr`] — a cache-block (line) address, i.e. the byte address
+//!   shifted right by the line-offset bits.
+//!
+//! Keeping them as separate newtypes prevents an entire class of bugs where
+//! a byte address is indexed as a block address (or vice versa).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A byte address in the simulated physical address space.
+///
+/// The paper assumes a 40-bit physical address space for its storage
+/// arithmetic; the simulator carries full 64-bit values and lets
+/// [`crate::Geometry`] decide how many bits are significant.
+///
+/// ```
+/// use cache_sim::Address;
+/// let a = Address::new(0x1234);
+/// assert_eq!(a.raw(), 0x1234);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw byte value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// Returns the raw byte address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address offset by `bytes` (wrapping).
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Address(self.0.wrapping_add(bytes))
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Address({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(a: Address) -> Self {
+        a.0
+    }
+}
+
+/// A cache-block (line) address: the byte address divided by the line size.
+///
+/// Produced by [`crate::Geometry::block_of`]; all cache structures operate on
+/// block addresses so that the line size is factored out exactly once.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a raw block number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        BlockAddr(raw)
+    }
+
+    /// Returns the raw block number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for BlockAddr {
+    fn from(raw: u64) -> Self {
+        BlockAddr(raw)
+    }
+}
+
+impl From<BlockAddr> for u64 {
+    fn from(b: BlockAddr) -> Self {
+        b.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_roundtrip() {
+        let a = Address::new(0xdead_beef);
+        assert_eq!(u64::from(a), 0xdead_beef);
+        assert_eq!(Address::from(0xdead_beefu64), a);
+    }
+
+    #[test]
+    fn address_offset_wraps() {
+        let a = Address::new(u64::MAX);
+        assert_eq!(a.offset(1).raw(), 0);
+    }
+
+    #[test]
+    fn block_addr_roundtrip() {
+        let b = BlockAddr::new(42);
+        assert_eq!(u64::from(b), 42);
+        assert_eq!(BlockAddr::from(42u64), b);
+    }
+
+    #[test]
+    fn debug_formats_hex() {
+        assert_eq!(format!("{:?}", Address::new(255)), "Address(0xff)");
+        assert_eq!(format!("{:?}", BlockAddr::new(255)), "BlockAddr(0xff)");
+        assert_eq!(format!("{}", Address::new(16)), "0x10");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Address::new(1) < Address::new(2));
+        assert!(BlockAddr::new(9) > BlockAddr::new(8));
+    }
+}

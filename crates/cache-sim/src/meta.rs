@@ -1,0 +1,173 @@
+//! Per-set replacement metadata storage.
+
+use crate::policy::ReplacementPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Replacement metadata for one cache set: one 64-bit word per way plus a
+/// per-set access tick.
+///
+/// Each [`ReplacementPolicy`] interprets the per-way word its own way
+/// (recency timestamp for LRU/MRU, insertion timestamp for FIFO, a packed
+/// (count, recency) pair for LFU). The tick is advanced by the policy
+/// callbacks and provides a per-set logical clock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetMeta {
+    words: Vec<u64>,
+    tick: u64,
+}
+
+impl SetMeta {
+    /// Creates metadata for a set with `ways` ways, all zeroed.
+    pub fn new(ways: usize) -> Self {
+        SetMeta {
+            words: vec![0; ways],
+            tick: 0,
+        }
+    }
+
+    /// Number of ways covered.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The per-way metadata word.
+    #[inline]
+    pub fn word(&self, way: usize) -> u64 {
+        self.words[way]
+    }
+
+    /// Sets the per-way metadata word.
+    #[inline]
+    pub fn set_word(&mut self, way: usize, value: u64) {
+        self.words[way] = value;
+    }
+
+    /// Advances and returns the per-set logical clock.
+    #[inline]
+    pub fn bump_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Current value of the per-set logical clock.
+    #[inline]
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Iterates over `(way, word)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words.iter().copied().enumerate()
+    }
+}
+
+/// A table of [`SetMeta`] (one per set) bound to a replacement policy.
+///
+/// This is the composable piece shared by plain caches (one `MetaTable`),
+/// shadow tag arrays (one each) and the SBAR variant (which keeps *two*
+/// `MetaTable`s over the real cache so it can start imitating either policy
+/// at any moment without duplicate tags — paper Section 4.7).
+#[derive(Debug, Clone)]
+pub struct MetaTable<P> {
+    policy: P,
+    sets: Vec<SetMeta>,
+}
+
+impl<P: ReplacementPolicy> MetaTable<P> {
+    /// Creates a table for `num_sets` sets of `ways` ways.
+    pub fn new(policy: P, num_sets: usize, ways: usize) -> Self {
+        MetaTable {
+            policy,
+            sets: (0..num_sets).map(|_| SetMeta::new(ways)).collect(),
+        }
+    }
+
+    /// The bound policy.
+    #[inline]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Records a hit on `way` of `set`.
+    #[inline]
+    pub fn on_hit(&mut self, set: usize, way: usize) {
+        self.policy.on_hit(&mut self.sets[set], way);
+    }
+
+    /// Records a fill into `way` of `set`.
+    #[inline]
+    pub fn on_fill(&mut self, set: usize, way: usize) {
+        self.policy.on_fill(&mut self.sets[set], way);
+    }
+
+    /// Asks the policy to choose a victim way in `set`.
+    ///
+    /// Must only be called when every way in the set is valid.
+    #[inline]
+    pub fn victim(&self, set: usize, rng: &mut dyn rand::RngCore) -> usize {
+        self.policy.victim(&self.sets[set], rng)
+    }
+
+    /// Read access to a set's metadata (used by tests and by the SBAR
+    /// policy-switching logic).
+    #[inline]
+    pub fn set_meta(&self, set: usize) -> &SetMeta {
+        &self.sets[set]
+    }
+
+    /// Mutable access to a set's metadata, for organisations that adjust
+    /// insertion positions directly (e.g. DIP's insert-at-LRU).
+    #[inline]
+    pub fn set_meta_mut(&mut self, set: usize) -> &mut SetMeta {
+        &mut self.sets[set]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Lru, PolicyKind};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn set_meta_clock_advances() {
+        let mut m = SetMeta::new(4);
+        assert_eq!(m.tick(), 0);
+        assert_eq!(m.bump_tick(), 1);
+        assert_eq!(m.bump_tick(), 2);
+        assert_eq!(m.tick(), 2);
+    }
+
+    #[test]
+    fn words_read_write() {
+        let mut m = SetMeta::new(2);
+        m.set_word(1, 99);
+        assert_eq!(m.word(0), 0);
+        assert_eq!(m.word(1), 99);
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 99)]);
+    }
+
+    #[test]
+    fn meta_table_lru_victim() {
+        let mut t = MetaTable::new(Lru, 1, 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for way in 0..4 {
+            t.on_fill(0, way);
+        }
+        t.on_hit(0, 0); // way 0 becomes most recent; way 1 is now LRU
+        assert_eq!(t.victim(0, &mut rng), 1);
+    }
+
+    #[test]
+    fn meta_table_generic_over_kind() {
+        let mut t = MetaTable::new(PolicyKind::Fifo, 2, 2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        t.on_fill(1, 0);
+        t.on_fill(1, 1);
+        t.on_hit(1, 0); // FIFO ignores hits
+        assert_eq!(t.victim(1, &mut rng), 0);
+    }
+}

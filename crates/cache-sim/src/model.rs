@@ -1,0 +1,62 @@
+//! The [`CacheModel`] trait: the boundary between a memory hierarchy and a
+//! cache organisation.
+
+use crate::addr::BlockAddr;
+use crate::cache::AccessOutcome;
+use crate::geometry::Geometry;
+use crate::stats::CacheStats;
+use std::fmt;
+
+/// A cache organisation as seen by a memory hierarchy.
+///
+/// The paper's point is that replacement is a *policy* choice orthogonal to
+/// the cache's architectural interface; this trait captures that interface.
+/// The plain [`crate::Cache`] implements it, and so do the adaptive, SBAR
+/// and multi-policy organisations from the `adaptive-cache` crate — the
+/// CPU model drives every L2 variant through a `Box<dyn CacheModel>`.
+pub trait CacheModel: fmt::Debug + Send {
+    /// Performs one demand access to `block` (write if `write`), updating
+    /// replacement state and reporting any eviction.
+    fn access(&mut self, block: BlockAddr, write: bool) -> AccessOutcome;
+
+    /// Aggregate statistics so far.
+    fn stats(&self) -> &CacheStats;
+
+    /// The cache's geometry.
+    fn geometry(&self) -> &Geometry;
+
+    /// A human-readable label for reports (e.g. `"LRU (512KB, 8-way)"`).
+    fn label(&self) -> String;
+}
+
+impl<T: CacheModel + ?Sized> CacheModel for Box<T> {
+    fn access(&mut self, block: BlockAddr, write: bool) -> AccessOutcome {
+        (**self).access(block, write)
+    }
+    fn stats(&self) -> &CacheStats {
+        (**self).stats()
+    }
+    fn geometry(&self) -> &Geometry {
+        (**self).geometry()
+    }
+    fn label(&self) -> String {
+        (**self).label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Address, Cache, PolicyKind};
+
+    #[test]
+    fn cache_is_object_safe() {
+        let geom = Geometry::new(4096, 64, 4).unwrap();
+        let mut boxed: Box<dyn CacheModel> = Box::new(Cache::new(geom, PolicyKind::Lru, 0));
+        let b = geom.block_of(Address::new(0x40));
+        assert!(!boxed.access(b, false).hit);
+        assert!(boxed.access(b, false).hit);
+        assert_eq!(boxed.stats().accesses, 2);
+        assert!(boxed.label().contains("LRU"));
+    }
+}

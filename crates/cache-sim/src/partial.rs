@@ -1,0 +1,168 @@
+//! Partial tags (paper Section 3.1).
+//!
+//! The adaptive scheme's shadow tag arrays only answer the question *"would
+//! this block be in component cache A/B?"* — a heuristic, not a correctness
+//! concern. They can therefore store only a few low-order tag bits (or an
+//! XOR-fold of the tag), shrinking each shadow array from ~28 KB to ~12 KB
+//! in the paper's 512 KB configuration. Occasional aliasing (two distinct
+//! tags sharing a partial tag) merely perturbs the replacement decision.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a tag array stores tags.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TagMode {
+    /// Store the complete tag. Exact, maximum storage.
+    Full,
+    /// Store only the `bits` low-order bits of the tag (the configuration
+    /// evaluated in the paper; 4–12 bits in Figure 5).
+    PartialLow {
+        /// Number of retained low-order tag bits (1..=63).
+        bits: u32,
+    },
+    /// Fold the whole tag into `bits` bits by XOR-ing successive
+    /// `bits`-wide groups (mentioned as an alternative in Section 3.1).
+    PartialXor {
+        /// Width of the folded tag (1..=63).
+        bits: u32,
+    },
+}
+
+impl TagMode {
+    /// Reduces a full tag to its stored representation.
+    ///
+    /// ```
+    /// use cache_sim::TagMode;
+    /// assert_eq!(TagMode::Full.store(0xabcd).raw(), 0xabcd);
+    /// assert_eq!(TagMode::PartialLow { bits: 8 }.store(0xabcd).raw(), 0xcd);
+    /// assert_eq!(TagMode::PartialXor { bits: 8 }.store(0xabcd).raw(), 0xab ^ 0xcd);
+    /// ```
+    #[inline]
+    pub fn store(self, tag: u64) -> StoredTag {
+        match self {
+            TagMode::Full => StoredTag(tag),
+            TagMode::PartialLow { bits } => StoredTag(tag & mask(bits)),
+            TagMode::PartialXor { bits } => {
+                let m = mask(bits);
+                let mut acc = 0u64;
+                let mut rest = tag;
+                loop {
+                    acc ^= rest & m;
+                    rest >>= bits;
+                    if rest == 0 {
+                        break;
+                    }
+                }
+                StoredTag(acc)
+            }
+        }
+    }
+
+    /// Number of stored tag bits given the full tag width `full_bits`
+    /// (used by the storage-overhead model).
+    #[inline]
+    pub fn stored_bits(self, full_bits: u32) -> u32 {
+        match self {
+            TagMode::Full => full_bits,
+            TagMode::PartialLow { bits } | TagMode::PartialXor { bits } => bits.min(full_bits),
+        }
+    }
+
+    /// `true` when this mode can alias (i.e. is partial).
+    #[inline]
+    pub fn is_partial(self) -> bool {
+        !matches!(self, TagMode::Full)
+    }
+}
+
+impl fmt::Debug for TagMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagMode::Full => write!(f, "full tags"),
+            TagMode::PartialLow { bits } => write!(f, "{bits}-bit partial tags"),
+            TagMode::PartialXor { bits } => write!(f, "{bits}-bit XOR-folded tags"),
+        }
+    }
+}
+
+#[inline]
+fn mask(bits: u32) -> u64 {
+    debug_assert!((1..=63).contains(&bits), "partial tag bits must be 1..=63");
+    (1u64 << bits) - 1
+}
+
+/// A tag as stored in a tag array: either the full tag or its partial
+/// representation, depending on the array's [`TagMode`].
+///
+/// Comparisons between stored tags are only meaningful within the same
+/// tag mode; the type system cannot enforce that, but keeping a newtype
+/// makes the boundary visible at call sites.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct StoredTag(pub(crate) u64);
+
+impl StoredTag {
+    /// Raw stored bits.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for StoredTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StoredTag({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_is_identity() {
+        for t in [0u64, 1, 0xffff_ffff_ffff, u64::MAX >> 1] {
+            assert_eq!(TagMode::Full.store(t).raw(), t);
+        }
+    }
+
+    #[test]
+    fn partial_low_masks() {
+        let m = TagMode::PartialLow { bits: 6 };
+        assert_eq!(m.store(0b1111_1111).raw(), 0b11_1111);
+        assert_eq!(m.store(0).raw(), 0);
+    }
+
+    #[test]
+    fn partial_xor_folds_all_bits() {
+        let m = TagMode::PartialXor { bits: 8 };
+        // Changing any byte of the tag changes the fold.
+        let base = m.store(0x11_22_33).raw();
+        assert_eq!(base, 0x11 ^ 0x22 ^ 0x33);
+        assert_ne!(m.store(0x12_22_33).raw(), base);
+    }
+
+    #[test]
+    fn aliasing_happens_for_partial() {
+        let m = TagMode::PartialLow { bits: 4 };
+        assert_eq!(m.store(0x10), m.store(0x20));
+        assert_eq!(m.store(0x10), m.store(0x0));
+    }
+
+    #[test]
+    fn stored_bits_accounting() {
+        assert_eq!(TagMode::Full.stored_bits(24), 24);
+        assert_eq!(TagMode::PartialLow { bits: 8 }.stored_bits(24), 8);
+        // Never report more bits than the full tag has.
+        assert_eq!(TagMode::PartialLow { bits: 32 }.stored_bits(24), 24);
+    }
+
+    #[test]
+    fn debug_rendering() {
+        assert_eq!(format!("{:?}", TagMode::Full), "full tags");
+        assert_eq!(
+            format!("{:?}", TagMode::PartialLow { bits: 8 }),
+            "8-bit partial tags"
+        );
+    }
+}

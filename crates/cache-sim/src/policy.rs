@@ -1,0 +1,799 @@
+//! Replacement policies.
+//!
+//! The paper's adaptive scheme is policy-agnostic: it combines *any* two
+//! replacement policies. This module provides the five standard policies
+//! the paper evaluates — [`Lru`], [`Lfu`], [`Fifo`], [`Mru`] and [`Rand`] —
+//! behind the object-safe [`ReplacementPolicy`] trait, plus [`PolicyKind`],
+//! a copyable enum covering all of them for runtime-configured experiments.
+//!
+//! # Writing your own policy
+//!
+//! Implement [`ReplacementPolicy`] over the per-set scratch space
+//! [`SetMeta`] (one 64-bit word per way plus a logical clock):
+//!
+//! ```
+//! use cache_sim::{ReplacementPolicy, SetMeta};
+//!
+//! /// Evict the way with the numerically smallest metadata word,
+//! /// treating the word as a user-managed priority.
+//! #[derive(Debug, Clone, Copy)]
+//! struct LowestPriority;
+//!
+//! impl ReplacementPolicy for LowestPriority {
+//!     fn name(&self) -> &'static str { "LOWEST" }
+//!     fn metadata_bits(&self, _ways: usize) -> u32 { 8 }
+//!     fn on_hit(&self, set: &mut SetMeta, way: usize) {
+//!         let w = set.word(way);
+//!         set.set_word(way, w.saturating_add(1));
+//!     }
+//!     fn on_fill(&self, set: &mut SetMeta, way: usize) {
+//!         set.set_word(way, 0);
+//!     }
+//!     fn victim(&self, set: &SetMeta, _rng: &mut dyn rand::RngCore) -> usize {
+//!         set.iter().min_by_key(|&(_, w)| w).map(|(i, _)| i).unwrap()
+//!     }
+//! }
+//! ```
+
+use crate::meta::SetMeta;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cache replacement policy operating on per-set metadata.
+///
+/// Policies are *stateless* configuration objects: all mutable state lives
+/// in [`SetMeta`], which makes one policy instance shareable between the
+/// real tag array and any number of shadow arrays.
+///
+/// The trait is object-safe so that experiment harnesses can assemble
+/// policy combinations at runtime (`Box<dyn ReplacementPolicy>`); for
+/// statically-known configurations the generic [`crate::TagArray`]`<P>`
+/// avoids the virtual dispatch.
+pub trait ReplacementPolicy: fmt::Debug + Send + Sync {
+    /// Short display name ("LRU", "LFU", ...), used in figure output.
+    fn name(&self) -> &'static str;
+
+    /// Per-entry metadata bits a hardware implementation would store, for
+    /// the storage-overhead model (paper Section 3.2 charges ~4 bits per
+    /// entry of policy metadata; LFU uses its counter width).
+    fn metadata_bits(&self, ways: usize) -> u32;
+
+    /// Called when `way` hits.
+    fn on_hit(&self, set: &mut SetMeta, way: usize);
+
+    /// Called when a block is filled into `way` (after a miss).
+    fn on_fill(&self, set: &mut SetMeta, way: usize);
+
+    /// Chooses a victim way. Only called when every way in the set holds a
+    /// valid block.
+    fn victim(&self, set: &SetMeta, rng: &mut dyn RngCore) -> usize;
+}
+
+#[inline]
+fn argmin(set: &SetMeta) -> usize {
+    set.iter().min_by_key(|&(_, w)| w).map(|(i, _)| i).unwrap()
+}
+
+#[inline]
+fn argmax(set: &SetMeta) -> usize {
+    set.iter().max_by_key(|&(_, w)| w).map(|(i, _)| i).unwrap()
+}
+
+#[inline]
+fn rank_bits(ways: usize) -> u32 {
+    usize::BITS - ways.saturating_sub(1).leading_zeros()
+}
+
+/// Least Recently Used: evicts the block whose last access is oldest.
+///
+/// Per-way word = last-access tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Lru;
+
+impl ReplacementPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+    fn metadata_bits(&self, ways: usize) -> u32 {
+        rank_bits(ways)
+    }
+    fn on_hit(&self, set: &mut SetMeta, way: usize) {
+        let t = set.bump_tick();
+        set.set_word(way, t);
+    }
+    fn on_fill(&self, set: &mut SetMeta, way: usize) {
+        let t = set.bump_tick();
+        set.set_word(way, t);
+    }
+    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+        argmin(set)
+    }
+}
+
+/// Most Recently Used: evicts the block accessed most recently.
+///
+/// "Typically a very bad replacement algorithm" (paper Section 4.4), but
+/// optimal for linear loops slightly larger than the cache — which is
+/// exactly why it is an interesting adaptivity component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mru;
+
+impl ReplacementPolicy for Mru {
+    fn name(&self) -> &'static str {
+        "MRU"
+    }
+    fn metadata_bits(&self, ways: usize) -> u32 {
+        rank_bits(ways)
+    }
+    fn on_hit(&self, set: &mut SetMeta, way: usize) {
+        let t = set.bump_tick();
+        set.set_word(way, t);
+    }
+    fn on_fill(&self, set: &mut SetMeta, way: usize) {
+        let t = set.bump_tick();
+        set.set_word(way, t);
+    }
+    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+        argmax(set)
+    }
+}
+
+/// First-In First-Out: evicts the block that has been resident longest,
+/// regardless of use.
+///
+/// Per-way word = fill tick (hits do not update it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fifo;
+
+impl ReplacementPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+    fn metadata_bits(&self, ways: usize) -> u32 {
+        rank_bits(ways)
+    }
+    fn on_hit(&self, _set: &mut SetMeta, _way: usize) {}
+    fn on_fill(&self, set: &mut SetMeta, way: usize) {
+        let t = set.bump_tick();
+        set.set_word(way, t);
+    }
+    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+        argmin(set)
+    }
+}
+
+/// Least Frequently Used with saturating access counters (the paper's L2
+/// configuration uses 5-bit counters, see Table 1).
+///
+/// Ties on the count are broken towards the least recently used block.
+/// Per-way word = `count << 32 | last-access tick (low 32 bits)`, so a
+/// plain numeric `argmin` realises "lowest count, then oldest".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lfu {
+    counter_bits: u32,
+}
+
+impl Lfu {
+    /// LFU with `counter_bits`-wide saturating counters (1..=32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is 0 or exceeds 32.
+    pub fn new(counter_bits: u32) -> Self {
+        assert!(
+            (1..=32).contains(&counter_bits),
+            "LFU counter width must be 1..=32 bits, got {counter_bits}"
+        );
+        Lfu { counter_bits }
+    }
+
+    /// The paper's configuration: 5-bit counters.
+    pub fn paper_default() -> Self {
+        Lfu::new(5)
+    }
+
+    /// Counter width in bits.
+    pub fn counter_bits(&self) -> u32 {
+        self.counter_bits
+    }
+
+    #[inline]
+    fn max_count(&self) -> u64 {
+        (1u64 << self.counter_bits) - 1
+    }
+}
+
+impl Default for Lfu {
+    fn default() -> Self {
+        Lfu::paper_default()
+    }
+}
+
+impl ReplacementPolicy for Lfu {
+    fn name(&self) -> &'static str {
+        "LFU"
+    }
+    fn metadata_bits(&self, _ways: usize) -> u32 {
+        self.counter_bits
+    }
+    fn on_hit(&self, set: &mut SetMeta, way: usize) {
+        let t = set.bump_tick();
+        let count = (set.word(way) >> 32).min(self.max_count());
+        let count = (count + 1).min(self.max_count());
+        set.set_word(way, (count << 32) | (t & 0xffff_ffff));
+    }
+    fn on_fill(&self, set: &mut SetMeta, way: usize) {
+        let t = set.bump_tick();
+        // The filling access itself counts as one use.
+        set.set_word(way, (1 << 32) | (t & 0xffff_ffff));
+    }
+    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+        argmin(set)
+    }
+}
+
+/// Random replacement: evicts a uniformly random way.
+///
+/// Driven by the tag array's seeded RNG, so runs remain reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rand;
+
+impl ReplacementPolicy for Rand {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+    fn metadata_bits(&self, _ways: usize) -> u32 {
+        0
+    }
+    fn on_hit(&self, _set: &mut SetMeta, _way: usize) {}
+    fn on_fill(&self, _set: &mut SetMeta, _way: usize) {}
+    fn victim(&self, set: &SetMeta, rng: &mut dyn RngCore) -> usize {
+        (rng.next_u64() % set.ways() as u64) as usize
+    }
+}
+
+/// Bimodal Insertion Policy (Qureshi et al., ISCA 2007): LRU victim
+/// selection, but incoming blocks are inserted at the *LRU* position so
+/// single-use scan blocks evict themselves; roughly one fill in 32 is
+/// promoted to MRU so a genuinely hot working set can still climb in.
+///
+/// The 1-in-32 choice is made deterministically from the set's logical
+/// clock (a hardware implementation uses a free-running counter).
+/// Included here because set-dueling insertion policies are the
+/// influential successor to the paper's scheme — and because this crate's
+/// adaptive cache can use BIP as a *component*, combining thrash
+/// protection with frequency protection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Bip;
+
+impl Bip {
+    /// Promote one fill in this many to the MRU position.
+    const EPSILON: u64 = 32;
+}
+
+impl ReplacementPolicy for Bip {
+    fn name(&self) -> &'static str {
+        "BIP"
+    }
+    fn metadata_bits(&self, ways: usize) -> u32 {
+        rank_bits(ways)
+    }
+    fn on_hit(&self, set: &mut SetMeta, way: usize) {
+        let t = set.bump_tick();
+        set.set_word(way, t);
+    }
+    fn on_fill(&self, set: &mut SetMeta, way: usize) {
+        let t = set.bump_tick();
+        if t % Self::EPSILON == 0 {
+            set.set_word(way, t); // occasional MRU insertion
+        } else {
+            // Insert at the LRU position: strictly below every other way.
+            let min = set
+                .iter()
+                .filter(|&(w, _)| w != way)
+                .map(|(_, word)| word)
+                .min()
+                .unwrap_or(1);
+            set.set_word(way, min.saturating_sub(1));
+        }
+    }
+    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+        argmin(set)
+    }
+}
+
+/// Tree pseudo-LRU: the industry-standard LRU approximation. A binary
+/// tree of direction bits per set points away from recently used ways;
+/// the victim is found by following the bits. For an associativity that
+/// is not a power of two the tree is built over the next power of two and
+/// victims are clamped into range.
+///
+/// State: the tree bits are packed into the set's way-0 metadata word
+/// (per-way words are otherwise unused by this policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TreePlru;
+
+impl TreePlru {
+    fn leaves(ways: usize) -> usize {
+        ways.next_power_of_two().max(2)
+    }
+
+    /// Flip the path bits so they point away from `way`.
+    fn touch(set: &mut SetMeta, way: usize) {
+        let leaves = Self::leaves(set.ways());
+        let mut bits = set.word(0);
+        let mut node = 1usize; // 1-indexed heap
+        let mut lo = 0usize;
+        let mut hi = leaves;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let bit = 1u64 << node;
+            if way < mid {
+                bits |= bit; // point right (away from the left half)
+                hi = mid;
+                node *= 2;
+            } else {
+                bits &= !bit; // point left
+                lo = mid;
+                node = node * 2 + 1;
+            }
+        }
+        set.set_word(0, bits);
+    }
+}
+
+impl ReplacementPolicy for TreePlru {
+    fn name(&self) -> &'static str {
+        "PLRU"
+    }
+    fn metadata_bits(&self, ways: usize) -> u32 {
+        // k-1 tree bits amortised across k entries: charge 1 bit.
+        u32::from(ways > 1)
+    }
+    fn on_hit(&self, set: &mut SetMeta, way: usize) {
+        Self::touch(set, way);
+    }
+    fn on_fill(&self, set: &mut SetMeta, way: usize) {
+        Self::touch(set, way);
+    }
+    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+        let leaves = Self::leaves(set.ways());
+        let bits = set.word(0);
+        let mut node = 1usize;
+        let mut lo = 0usize;
+        let mut hi = leaves;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if bits & (1u64 << node) != 0 {
+                lo = mid; // bit points right
+                node = node * 2 + 1;
+            } else {
+                hi = mid; // bit points left
+                node *= 2;
+            }
+        }
+        lo.min(set.ways() - 1)
+    }
+}
+
+/// Not-Most-Recently-Used: evicts a uniformly random way other than the
+/// most recently used one (a common cheap policy in TLBs and L1s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Nmru;
+
+impl ReplacementPolicy for Nmru {
+    fn name(&self) -> &'static str {
+        "NMRU"
+    }
+    fn metadata_bits(&self, ways: usize) -> u32 {
+        rank_bits(ways)
+    }
+    fn on_hit(&self, set: &mut SetMeta, way: usize) {
+        let t = set.bump_tick();
+        set.set_word(way, t);
+    }
+    fn on_fill(&self, set: &mut SetMeta, way: usize) {
+        let t = set.bump_tick();
+        set.set_word(way, t);
+    }
+    fn victim(&self, set: &SetMeta, rng: &mut dyn RngCore) -> usize {
+        let ways = set.ways();
+        if ways == 1 {
+            return 0;
+        }
+        let mru = argmax(set);
+        let pick = (rng.next_u64() % (ways as u64 - 1)) as usize;
+        if pick >= mru {
+            pick + 1
+        } else {
+            pick
+        }
+    }
+}
+
+/// A runtime-selectable replacement policy covering all built-in policies.
+///
+/// `PolicyKind` is `Copy` and serialisable, which makes it the natural
+/// currency for experiment configurations:
+///
+/// ```
+/// use cache_sim::{PolicyKind, ReplacementPolicy};
+/// let p = PolicyKind::Lfu { counter_bits: 5 };
+/// assert_eq!(p.name(), "LFU");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Least Recently Used.
+    Lru,
+    /// Least Frequently Used with saturating counters of the given width.
+    Lfu {
+        /// Counter width in bits (the paper uses 5).
+        counter_bits: u32,
+    },
+    /// First-In First-Out.
+    Fifo,
+    /// Most Recently Used.
+    Mru,
+    /// Uniform random.
+    Random,
+    /// Tree pseudo-LRU.
+    TreePlru,
+    /// Not-most-recently-used.
+    Nmru,
+    /// Bimodal insertion (thrash-protecting LRU variant).
+    Bip,
+}
+
+impl PolicyKind {
+    /// The paper's LFU configuration (5-bit counters).
+    pub const LFU5: PolicyKind = PolicyKind::Lfu { counter_bits: 5 };
+
+    /// All five built-in policies, in the order of the paper's Section 4.4
+    /// five-policy experiment (LRU, LFU, FIFO, MRU, Random).
+    pub fn all() -> [PolicyKind; 5] {
+        [
+            PolicyKind::Lru,
+            PolicyKind::LFU5,
+            PolicyKind::Fifo,
+            PolicyKind::Mru,
+            PolicyKind::Random,
+        ]
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl ReplacementPolicy for PolicyKind {
+    fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Lfu { .. } => "LFU",
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Mru => "MRU",
+            PolicyKind::Random => "Random",
+            PolicyKind::TreePlru => "PLRU",
+            PolicyKind::Nmru => "NMRU",
+            PolicyKind::Bip => "BIP",
+        }
+    }
+
+    fn metadata_bits(&self, ways: usize) -> u32 {
+        match self {
+            PolicyKind::Lru => Lru.metadata_bits(ways),
+            PolicyKind::Lfu { counter_bits } => Lfu::new(*counter_bits).metadata_bits(ways),
+            PolicyKind::Fifo => Fifo.metadata_bits(ways),
+            PolicyKind::Mru => Mru.metadata_bits(ways),
+            PolicyKind::Random => Rand.metadata_bits(ways),
+            PolicyKind::TreePlru => TreePlru.metadata_bits(ways),
+            PolicyKind::Nmru => Nmru.metadata_bits(ways),
+            PolicyKind::Bip => Bip.metadata_bits(ways),
+        }
+    }
+
+    fn on_hit(&self, set: &mut SetMeta, way: usize) {
+        match self {
+            PolicyKind::Lru => Lru.on_hit(set, way),
+            PolicyKind::Lfu { counter_bits } => Lfu::new(*counter_bits).on_hit(set, way),
+            PolicyKind::Fifo => Fifo.on_hit(set, way),
+            PolicyKind::Mru => Mru.on_hit(set, way),
+            PolicyKind::Random => Rand.on_hit(set, way),
+            PolicyKind::TreePlru => TreePlru.on_hit(set, way),
+            PolicyKind::Nmru => Nmru.on_hit(set, way),
+            PolicyKind::Bip => Bip.on_hit(set, way),
+        }
+    }
+
+    fn on_fill(&self, set: &mut SetMeta, way: usize) {
+        match self {
+            PolicyKind::Lru => Lru.on_fill(set, way),
+            PolicyKind::Lfu { counter_bits } => Lfu::new(*counter_bits).on_fill(set, way),
+            PolicyKind::Fifo => Fifo.on_fill(set, way),
+            PolicyKind::Mru => Mru.on_fill(set, way),
+            PolicyKind::Random => Rand.on_fill(set, way),
+            PolicyKind::TreePlru => TreePlru.on_fill(set, way),
+            PolicyKind::Nmru => Nmru.on_fill(set, way),
+            PolicyKind::Bip => Bip.on_fill(set, way),
+        }
+    }
+
+    fn victim(&self, set: &SetMeta, rng: &mut dyn RngCore) -> usize {
+        match self {
+            PolicyKind::Lru => Lru.victim(set, rng),
+            PolicyKind::Lfu { counter_bits } => Lfu::new(*counter_bits).victim(set, rng),
+            PolicyKind::Fifo => Fifo.victim(set, rng),
+            PolicyKind::Mru => Mru.victim(set, rng),
+            PolicyKind::Random => Rand.victim(set, rng),
+            PolicyKind::TreePlru => TreePlru.victim(set, rng),
+            PolicyKind::Nmru => Nmru.victim(set, rng),
+            PolicyKind::Bip => Bip.victim(set, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    fn filled(policy: &dyn ReplacementPolicy, ways: usize) -> SetMeta {
+        let mut m = SetMeta::new(ways);
+        for w in 0..ways {
+            policy.on_fill(&mut m, w);
+        }
+        m
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut m = filled(&Lru, 4);
+        // Access order now 0,1,2,3 — touch 0 and 1 again.
+        Lru.on_hit(&mut m, 0);
+        Lru.on_hit(&mut m, 1);
+        assert_eq!(Lru.victim(&m, &mut rng()), 2);
+    }
+
+    #[test]
+    fn mru_evicts_newest() {
+        let mut m = filled(&Mru, 4);
+        Mru.on_hit(&mut m, 1);
+        assert_eq!(Mru.victim(&m, &mut rng()), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut m = filled(&Fifo, 4);
+        Fifo.on_hit(&mut m, 0);
+        Fifo.on_hit(&mut m, 0);
+        assert_eq!(Fifo.victim(&m, &mut rng()), 0, "way 0 filled first");
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let lfu = Lfu::paper_default();
+        let mut m = filled(&lfu, 4);
+        lfu.on_hit(&mut m, 0);
+        lfu.on_hit(&mut m, 0);
+        lfu.on_hit(&mut m, 1);
+        lfu.on_hit(&mut m, 3);
+        // way 2 has count 1 (fill only).
+        assert_eq!(lfu.victim(&m, &mut rng()), 2);
+    }
+
+    #[test]
+    fn lfu_ties_break_to_lru() {
+        let lfu = Lfu::paper_default();
+        let mut m = filled(&lfu, 3);
+        // All counts equal (1); way 0 was filled first => oldest recency.
+        assert_eq!(lfu.victim(&m, &mut rng()), 0);
+        lfu.on_hit(&mut m, 0); // now ways 1,2 tie at count 1; way 1 older
+        assert_eq!(lfu.victim(&m, &mut rng()), 1);
+    }
+
+    #[test]
+    fn lfu_counters_saturate() {
+        let lfu = Lfu::new(2); // saturates at 3
+        let mut m = filled(&lfu, 2);
+        for _ in 0..100 {
+            lfu.on_hit(&mut m, 0);
+        }
+        assert_eq!(m.word(0) >> 32, 3, "2-bit counter saturates at 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "LFU counter width")]
+    fn lfu_rejects_zero_width() {
+        let _ = Lfu::new(0);
+    }
+
+    #[test]
+    fn random_covers_all_ways() {
+        let m = filled(&Rand, 4);
+        let mut seen = [false; 4];
+        let mut r = rng();
+        for _ in 0..200 {
+            seen[Rand.victim(&m, &mut r)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let m = filled(&Rand, 8);
+        let seq1: Vec<_> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..32).map(|_| Rand.victim(&m, &mut r)).collect()
+        };
+        let seq2: Vec<_> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..32).map(|_| Rand.victim(&m, &mut r)).collect()
+        };
+        assert_eq!(seq1, seq2);
+    }
+
+    #[test]
+    fn policy_kind_dispatch_matches_concrete() {
+        let mut m1 = filled(&Lru, 4);
+        let mut m2 = filled(&PolicyKind::Lru, 4);
+        assert_eq!(m1, m2);
+        Lru.on_hit(&mut m1, 2);
+        PolicyKind::Lru.on_hit(&mut m2, 2);
+        assert_eq!(
+            Lru.victim(&m1, &mut rng()),
+            PolicyKind::Lru.victim(&m2, &mut rng())
+        );
+    }
+
+    #[test]
+    fn metadata_bits_accounting() {
+        assert_eq!(Lru.metadata_bits(8), 3);
+        assert_eq!(Lru.metadata_bits(16), 4);
+        assert_eq!(Lfu::paper_default().metadata_bits(8), 5);
+        assert_eq!(Rand.metadata_bits(8), 0);
+        assert_eq!(Fifo.metadata_bits(1), 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PolicyKind::Lru.to_string(), "LRU");
+        assert_eq!(PolicyKind::LFU5.to_string(), "LFU");
+        assert_eq!(PolicyKind::Random.to_string(), "Random");
+    }
+
+    #[test]
+    fn plru_victim_avoids_recent_ways() {
+        let mut m = filled(&TreePlru, 8);
+        // Touch ways 0..7 in order: way 0 becomes the "oldest" path.
+        for w in 0..8 {
+            TreePlru.on_hit(&mut m, w);
+        }
+        let v = TreePlru.victim(&m, &mut rng());
+        assert_eq!(v, 0, "after touching 0..7 in order, PLRU points at 0");
+        // Touch way 0 again; the victim must move elsewhere.
+        TreePlru.on_hit(&mut m, 0);
+        assert_ne!(TreePlru.victim(&m, &mut rng()), 0);
+    }
+
+    #[test]
+    fn plru_approximates_lru_on_cyclic_touches() {
+        // For a full cyclic touch pattern, tree-PLRU's victim always has
+        // not been touched in the most recent half of the ways.
+        let mut m = filled(&TreePlru, 8);
+        for round in 0..50u64 {
+            for w in 0..8usize {
+                TreePlru.on_hit(&mut m, w);
+                let v = TreePlru.victim(&m, &mut rng());
+                assert_ne!(v, w, "round {round}: victim equals the MRU way");
+            }
+        }
+    }
+
+    #[test]
+    fn plru_handles_non_power_of_two() {
+        let mut m = filled(&TreePlru, 6);
+        for w in 0..6 {
+            TreePlru.on_hit(&mut m, w);
+        }
+        let v = TreePlru.victim(&m, &mut rng());
+        assert!(v < 6, "victim {v} out of range");
+    }
+
+    #[test]
+    fn nmru_never_evicts_the_mru() {
+        let mut m = filled(&Nmru, 4);
+        Nmru.on_hit(&mut m, 2);
+        let mut r = rng();
+        for _ in 0..200 {
+            assert_ne!(Nmru.victim(&m, &mut r), 2);
+        }
+    }
+
+    #[test]
+    fn nmru_single_way() {
+        let m = filled(&Nmru, 1);
+        assert_eq!(Nmru.victim(&m, &mut rng()), 0);
+    }
+
+    #[test]
+    fn extra_policies_dispatch_through_kind() {
+        let mut m1 = filled(&TreePlru, 4);
+        let mut m2 = filled(&PolicyKind::TreePlru, 4);
+        TreePlru.on_hit(&mut m1, 1);
+        PolicyKind::TreePlru.on_hit(&mut m2, 1);
+        assert_eq!(
+            TreePlru.victim(&m1, &mut rng()),
+            PolicyKind::TreePlru.victim(&m2, &mut rng())
+        );
+        assert_eq!(PolicyKind::Nmru.name(), "NMRU");
+    }
+
+    #[test]
+    fn bip_resists_scans_but_admits_hot_blocks() {
+        // A cyclic scan over 2x the set: plain LRU misses everything;
+        // BIP stabilises a retained subset.
+        let mut lru_m = filled(&Lru, 8);
+        let mut bip_m = filled(&Bip, 8);
+        let mut lru_tags = [0u64; 8];
+        let mut bip_tags = [0u64; 8];
+        for w in 0..8u64 {
+            lru_tags[w as usize] = w;
+            bip_tags[w as usize] = w;
+        }
+        let mut lru_hits = 0;
+        let mut bip_hits = 0;
+        for i in 0..1600u64 {
+            let block = i % 16;
+            if let Some(w) = lru_tags.iter().position(|&t| t == block) {
+                Lru.on_hit(&mut lru_m, w);
+                lru_hits += 1;
+            } else {
+                let v = Lru.victim(&lru_m, &mut rng());
+                lru_tags[v] = block;
+                Lru.on_fill(&mut lru_m, v);
+            }
+            if let Some(w) = bip_tags.iter().position(|&t| t == block) {
+                Bip.on_hit(&mut bip_m, w);
+                bip_hits += 1;
+            } else {
+                let v = Bip.victim(&bip_m, &mut rng());
+                bip_tags[v] = block;
+                Bip.on_fill(&mut bip_m, v);
+            }
+        }
+        assert_eq!(lru_hits, 8, "LRU hits only the warm-up pass, then thrashes");
+        assert!(bip_hits > 600, "BIP retained too little: {bip_hits}");
+    }
+
+    #[test]
+    fn bip_promotes_occasionally() {
+        let mut m = filled(&Bip, 4);
+        // Run enough fills that at least one lands at MRU.
+        let mut saw_mru = false;
+        for _ in 0..64 {
+            let v = Bip.victim(&m, &mut rng());
+            Bip.on_fill(&mut m, v);
+            if m.word(v) == m.iter().map(|(_, w)| w).max().unwrap() && m.word(v) > 0 {
+                saw_mru = true;
+            }
+        }
+        assert!(saw_mru, "epsilon promotion never fired");
+        assert_eq!(PolicyKind::Bip.name(), "BIP");
+    }
+
+    #[test]
+    fn all_lists_five_policies() {
+        let all = PolicyKind::all();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0], PolicyKind::Lru);
+        assert_eq!(all[3], PolicyKind::Mru);
+    }
+}

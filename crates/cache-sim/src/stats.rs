@@ -1,0 +1,120 @@
+//! Cache statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters kept by every cache organisation ([`crate::Cache`], the
+/// adaptive variants, ...).
+///
+/// The paper's figures are expressed in **MPKI** (misses per thousand
+/// instructions); since only the driver knows the instruction count,
+/// [`CacheStats::mpki`] takes it as a parameter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total demand accesses.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Misses caused by reads.
+    pub read_misses: u64,
+    /// Misses caused by writes.
+    pub write_misses: u64,
+    /// Valid blocks replaced.
+    pub evictions: u64,
+    /// Dirty blocks written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Records an access outcome in the counters. Public so that external
+    /// [`crate::CacheModel`] implementations (the adaptive organisations)
+    /// can share the bookkeeping.
+    pub fn record(&mut self, hit: bool, write: bool) {
+        self.accesses += 1;
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if write {
+                self.write_misses += 1;
+            } else {
+                self.read_misses += 1;
+            }
+        }
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when there were no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per thousand instructions.
+    ///
+    /// ```
+    /// use cache_sim::CacheStats;
+    /// let s = CacheStats { misses: 500, ..Default::default() };
+    /// assert_eq!(s.mpki(100_000), 5.0);
+    /// ```
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_misses() {
+        let mut s = CacheStats::default();
+        s.record(false, false);
+        s.record(false, true);
+        s.record(true, false);
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.write_misses, 1);
+    }
+
+    #[test]
+    fn ratios() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(), 0.0);
+        for _ in 0..3 {
+            s.record(true, false);
+        }
+        s.record(false, false);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpki_handles_zero_instructions() {
+        let s = CacheStats {
+            misses: 10,
+            ..Default::default()
+        };
+        assert_eq!(s.mpki(0), 0.0);
+        assert_eq!(s.mpki(1000), 10.0);
+    }
+}

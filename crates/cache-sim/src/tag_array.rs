@@ -1,0 +1,429 @@
+//! Tag directories and policy-managed tag arrays.
+//!
+//! [`Directory`] is the bare tag store (valid/dirty bits + stored tags);
+//! [`TagArray`] binds a directory to a [`ReplacementPolicy`] and drives it
+//! autonomously. The adaptive cache (crate `adaptive-cache`) uses
+//! `TagArray`s as its *shadow* ("parallel") tag structures — one per
+//! component policy — and a bare `Directory` for its real contents, whose
+//! victims are chosen by the adaptivity logic rather than by a single
+//! policy.
+
+use crate::addr::BlockAddr;
+use crate::geometry::Geometry;
+use crate::meta::MetaTable;
+use crate::partial::{StoredTag, TagMode};
+use crate::policy::{PolicyKind, ReplacementPolicy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One way of one set: a stored tag plus valid and dirty bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Way {
+    /// Whether this way holds a block.
+    pub valid: bool,
+    /// The stored (possibly partial) tag; meaningless when `!valid`.
+    pub tag: StoredTag,
+    /// Whether the block has been written since it was filled.
+    pub dirty: bool,
+}
+
+/// A bare tag directory: `num_sets x associativity` ways of
+/// (valid, dirty, stored tag) with no replacement policy attached.
+///
+/// Tags are stored through a [`TagMode`], so the same type backs both
+/// full-tag directories (real caches) and partial-tag shadow arrays.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    geom: Geometry,
+    tag_mode: TagMode,
+    ways: Vec<Way>, // set-major: index = set * assoc + way
+}
+
+impl Directory {
+    /// Creates an empty directory for `geom` storing tags per `tag_mode`.
+    pub fn new(geom: Geometry, tag_mode: TagMode) -> Self {
+        Directory {
+            geom,
+            tag_mode,
+            ways: vec![Way::default(); geom.num_sets() * geom.associativity()],
+        }
+    }
+
+    /// The directory's geometry.
+    #[inline]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// The directory's tag mode.
+    #[inline]
+    pub fn tag_mode(&self) -> TagMode {
+        self.tag_mode
+    }
+
+    /// Reduces a block address to (set index, stored tag).
+    #[inline]
+    pub fn locate(&self, block: BlockAddr) -> (usize, StoredTag) {
+        (
+            self.geom.set_index(block),
+            self.tag_mode.store(self.geom.tag(block)),
+        )
+    }
+
+    #[inline]
+    fn base(&self, set: usize) -> usize {
+        set * self.geom.associativity()
+    }
+
+    /// The ways of `set`.
+    #[inline]
+    pub fn set_ways(&self, set: usize) -> &[Way] {
+        let b = self.base(set);
+        &self.ways[b..b + self.geom.associativity()]
+    }
+
+    /// Finds the way of `set` holding `stored`, if any.
+    #[inline]
+    pub fn find(&self, set: usize, stored: StoredTag) -> Option<usize> {
+        self.set_ways(set)
+            .iter()
+            .position(|w| w.valid && w.tag == stored)
+    }
+
+    /// Whether `set` holds `stored`.
+    #[inline]
+    pub fn contains(&self, set: usize, stored: StoredTag) -> bool {
+        self.find(set, stored).is_some()
+    }
+
+    /// Whether the directory holds `block` (full lookup).
+    #[inline]
+    pub fn contains_block(&self, block: BlockAddr) -> bool {
+        let (set, stored) = self.locate(block);
+        self.contains(set, stored)
+    }
+
+    /// First invalid way of `set`, if any.
+    #[inline]
+    pub fn invalid_way(&self, set: usize) -> Option<usize> {
+        self.set_ways(set).iter().position(|w| !w.valid)
+    }
+
+    /// Installs `stored` into `(set, way)` and returns the evicted way
+    /// (if it was valid).
+    pub fn fill_at(&mut self, set: usize, way: usize, stored: StoredTag) -> Option<Way> {
+        let idx = self.base(set) + way;
+        let old = self.ways[idx];
+        self.ways[idx] = Way {
+            valid: true,
+            tag: stored,
+            dirty: false,
+        };
+        old.valid.then_some(old)
+    }
+
+    /// Marks `(set, way)` dirty.
+    #[inline]
+    pub fn mark_dirty(&mut self, set: usize, way: usize) {
+        let idx = self.base(set) + way;
+        debug_assert!(self.ways[idx].valid);
+        self.ways[idx].dirty = true;
+    }
+
+    /// Invalidates `(set, way)`, returning its previous contents if valid.
+    pub fn invalidate(&mut self, set: usize, way: usize) -> Option<Way> {
+        let idx = self.base(set) + way;
+        let old = self.ways[idx];
+        self.ways[idx] = Way::default();
+        old.valid.then_some(old)
+    }
+
+    /// Number of valid ways in `set`.
+    pub fn valid_count(&self, set: usize) -> usize {
+        self.set_ways(set).iter().filter(|w| w.valid).count()
+    }
+}
+
+/// Statistics of a [`TagArray`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+impl TagStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Result of a single [`TagArray::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagAccess {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// The way that now holds the block (hit way, or the fill way).
+    pub way: usize,
+    /// On a miss that replaced a valid block: the evicted way.
+    pub evicted: Option<Way>,
+}
+
+/// A self-managed tag array: a [`Directory`] whose victims are chosen by a
+/// [`ReplacementPolicy`].
+///
+/// This models both a conventional cache's tag side and the paper's shadow
+/// tag structures. Accessing it fully simulates the component cache's
+/// behaviour for the reference:
+///
+/// ```
+/// use cache_sim::{Geometry, PolicyKind, TagArray, TagMode, Address};
+///
+/// let geom = Geometry::new(4096, 64, 4).unwrap();
+/// let mut shadow = TagArray::new(geom, TagMode::PartialLow { bits: 8 },
+///                                PolicyKind::Lru, 7);
+/// let block = geom.block_of(Address::new(0x1000));
+/// assert!(!shadow.access(block).hit);
+/// assert!(shadow.access(block).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TagArray<P: ReplacementPolicy = PolicyKind> {
+    dir: Directory,
+    meta: MetaTable<P>,
+    rng: SmallRng,
+    stats: TagStats,
+}
+
+impl<P: ReplacementPolicy> TagArray<P> {
+    /// Creates an empty tag array.
+    pub fn new(geom: Geometry, tag_mode: TagMode, policy: P, seed: u64) -> Self {
+        TagArray {
+            dir: Directory::new(geom, tag_mode),
+            meta: MetaTable::new(policy, geom.num_sets(), geom.associativity()),
+            rng: SmallRng::seed_from_u64(seed),
+            stats: TagStats::default(),
+        }
+    }
+
+    /// The underlying directory.
+    #[inline]
+    pub fn directory(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// Mutable access to the underlying directory (crate-internal: used by
+    /// [`crate::Cache`] to maintain dirty bits).
+    #[inline]
+    pub(crate) fn directory_mut(&mut self) -> &mut Directory {
+        &mut self.dir
+    }
+
+    /// The bound policy.
+    #[inline]
+    pub fn policy(&self) -> &P {
+        self.meta.policy()
+    }
+
+    /// The array's geometry.
+    #[inline]
+    pub fn geometry(&self) -> &Geometry {
+        self.dir.geometry()
+    }
+
+    /// The array's tag mode.
+    #[inline]
+    pub fn tag_mode(&self) -> TagMode {
+        self.dir.tag_mode()
+    }
+
+    /// Hit/miss statistics.
+    #[inline]
+    pub fn stats(&self) -> TagStats {
+        self.stats
+    }
+
+    /// Simulates one reference to `block`: on a hit the policy's hit update
+    /// runs; on a miss the policy chooses a victim (after invalid ways are
+    /// exhausted), the block is installed and the policy's fill update runs.
+    pub fn access(&mut self, block: BlockAddr) -> TagAccess {
+        let (set, stored) = self.dir.locate(block);
+        if let Some(way) = self.dir.find(set, stored) {
+            self.stats.hits += 1;
+            self.meta.on_hit(set, way);
+            return TagAccess {
+                hit: true,
+                way,
+                evicted: None,
+            };
+        }
+        self.stats.misses += 1;
+        let way = match self.dir.invalid_way(set) {
+            Some(w) => w,
+            None => self.meta.victim(set, &mut self.rng),
+        };
+        let evicted = self.dir.fill_at(set, way, stored);
+        self.meta.on_fill(set, way);
+        TagAccess {
+            hit: false,
+            way,
+            evicted,
+        }
+    }
+
+    /// Whether the array currently holds `block`.
+    ///
+    /// With partial tags this can produce false positives — exactly the
+    /// aliasing behaviour the paper analyses in Section 3.1.
+    #[inline]
+    pub fn contains_block(&self, block: BlockAddr) -> bool {
+        self.dir.contains_block(block)
+    }
+
+    /// Whether `set` holds the stored tag `stored` (for cross-array
+    /// membership queries: the caller must have stored `stored` under this
+    /// array's [`TagMode`]).
+    #[inline]
+    pub fn contains(&self, set: usize, stored: StoredTag) -> bool {
+        self.dir.contains(set, stored)
+    }
+
+    /// Invalidate `block` if present (coherence-style back-invalidation).
+    pub fn invalidate_block(&mut self, block: BlockAddr) -> bool {
+        let (set, stored) = self.dir.locate(block);
+        match self.dir.find(set, stored) {
+            Some(way) => {
+                self.dir.invalidate(set, way);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Address;
+    use crate::policy::{Lru, Mru};
+
+    fn geom() -> Geometry {
+        Geometry::new(1024, 64, 4).unwrap() // 4 sets, 4 ways
+    }
+
+    fn block(g: &Geometry, n: u64) -> BlockAddr {
+        // n distinct blocks all mapping to set 0.
+        g.block_of(Address::new(n * 64 * g.num_sets() as u64))
+    }
+
+    #[test]
+    fn fills_invalid_ways_first() {
+        let g = geom();
+        let mut a = TagArray::new(g, TagMode::Full, Lru, 1);
+        for n in 0..4 {
+            let acc = a.access(block(&g, n));
+            assert!(!acc.hit);
+            assert_eq!(acc.evicted, None, "no eviction while ways are free");
+        }
+        assert_eq!(a.stats().misses, 4);
+    }
+
+    #[test]
+    fn lru_array_evicts_oldest_block() {
+        let g = geom();
+        let mut a = TagArray::new(g, TagMode::Full, Lru, 1);
+        for n in 0..4 {
+            a.access(block(&g, n));
+        }
+        a.access(block(&g, 0)); // refresh block 0
+        let acc = a.access(block(&g, 9)); // set full -> evict block 1
+        assert!(!acc.hit);
+        assert!(acc.evicted.is_some());
+        assert!(a.contains_block(block(&g, 0)));
+        assert!(!a.contains_block(block(&g, 1)));
+    }
+
+    #[test]
+    fn mru_array_keeps_old_blocks() {
+        let g = geom();
+        let mut a = TagArray::new(g, TagMode::Full, Mru, 1);
+        for n in 0..4 {
+            a.access(block(&g, n));
+        }
+        a.access(block(&g, 9)); // evicts block 3 (most recent)
+        assert!(a.contains_block(block(&g, 0)));
+        assert!(!a.contains_block(block(&g, 3)));
+    }
+
+    #[test]
+    fn hits_are_counted() {
+        let g = geom();
+        let mut a = TagArray::new(g, TagMode::Full, Lru, 1);
+        a.access(block(&g, 0));
+        assert!(a.access(block(&g, 0)).hit);
+        assert_eq!(a.stats(), TagStats { hits: 1, misses: 1 });
+        assert_eq!(a.stats().accesses(), 2);
+    }
+
+    #[test]
+    fn partial_tags_alias() {
+        let g = Geometry::new(512 * 1024, 64, 8).unwrap();
+        let mut a = TagArray::new(g, TagMode::PartialLow { bits: 4 }, Lru, 1);
+        let b0 = g.block_of(Address::new(0));
+        // Same set (index bits identical), tag differs only above bit 4.
+        let alias = g.block_of(Address::new(1u64 << (6 + 10 + 4)));
+        assert_ne!(g.tag(b0), g.tag(alias));
+        a.access(b0);
+        assert!(
+            a.access(alias).hit,
+            "4-bit partial tags must alias these blocks"
+        );
+    }
+
+    #[test]
+    fn full_tags_do_not_alias() {
+        let g = Geometry::new(512 * 1024, 64, 8).unwrap();
+        let mut a = TagArray::new(g, TagMode::Full, Lru, 1);
+        a.access(g.block_of(Address::new(0)));
+        assert!(!a.access(g.block_of(Address::new(1u64 << 20))).hit);
+    }
+
+    #[test]
+    fn invalidate_block_removes_entry() {
+        let g = geom();
+        let mut a = TagArray::new(g, TagMode::Full, Lru, 1);
+        let b = block(&g, 0);
+        a.access(b);
+        assert!(a.invalidate_block(b));
+        assert!(!a.contains_block(b));
+        assert!(!a.invalidate_block(b), "second invalidate is a no-op");
+    }
+
+    #[test]
+    fn directory_fill_and_dirty() {
+        let g = geom();
+        let mut d = Directory::new(g, TagMode::Full);
+        let (set, stored) = d.locate(block(&g, 5));
+        assert_eq!(d.valid_count(set), 0);
+        assert_eq!(d.fill_at(set, 2, stored), None);
+        d.mark_dirty(set, 2);
+        assert!(d.set_ways(set)[2].dirty);
+        let old = d.fill_at(set, 2, d.locate(block(&g, 6)).1).unwrap();
+        assert!(old.dirty, "eviction reports dirtiness of the old block");
+        assert_eq!(d.valid_count(set), 1);
+    }
+
+    #[test]
+    fn directory_invalidate() {
+        let g = geom();
+        let mut d = Directory::new(g, TagMode::Full);
+        let (set, stored) = d.locate(block(&g, 1));
+        d.fill_at(set, 0, stored);
+        assert!(d.contains(set, stored));
+        let old = d.invalidate(set, 0).unwrap();
+        assert_eq!(old.tag, stored);
+        assert!(!d.contains(set, stored));
+        assert!(d.invalidate(set, 0).is_none());
+    }
+}

@@ -1,0 +1,301 @@
+//! Per-set miss-history buffers (paper Section 2.2).
+//!
+//! The history buffer answers one question per set: *which component policy
+//! has been missing less lately?* The paper describes three realisations:
+//!
+//! * a **bit-vector** of the last `m` *exclusive* misses (misses suffered by
+//!   exactly one of the two component policies) — the implementation the
+//!   paper evaluates, with `m` equal to the associativity or a small
+//!   multiple of it;
+//! * **full counters** of all misses so far — the variant used for the
+//!   theoretical 2x bound ("easiest to reason about");
+//! * a **saturating counter** approximation.
+
+use crate::adaptive::Component;
+use serde::{Deserialize, Serialize};
+
+/// Which kind of per-set miss history to keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HistoryKind {
+    /// Bit-vector of the last `m` exclusive misses (the paper's default,
+    /// `m` = associativity for the evaluated 8-way cache). `m` must be
+    /// 1..=64.
+    BitVector {
+        /// Window length in recorded exclusive misses.
+        m: u32,
+    },
+    /// Unbounded per-policy miss counters ("since the beginning of time"):
+    /// the variant with the proven 2x bound, "neither realistic nor likely
+    /// to adapt quickly", kept for theory experiments.
+    Counters,
+    /// A `bits`-wide saturating up/down counter stepped on exclusive
+    /// misses. `bits` must be 2..=16.
+    Saturating {
+        /// Counter width in bits.
+        bits: u32,
+    },
+}
+
+impl HistoryKind {
+    /// The paper's evaluated configuration for an 8-way cache: `m = 8`.
+    pub const fn paper_default() -> Self {
+        HistoryKind::BitVector { m: 8 }
+    }
+
+    /// Storage bits per set (for the overhead model). The paper charges
+    /// 8 bits per set for its `m = 8` bit-vector (1 KB over 1024 sets).
+    pub fn bits_per_set(self) -> u32 {
+        match self {
+            HistoryKind::BitVector { m } => m,
+            // Two "large counters": charge 2 x 32 as a nominal figure.
+            HistoryKind::Counters => 64,
+            HistoryKind::Saturating { bits } => bits,
+        }
+    }
+}
+
+/// One set's miss history.
+///
+/// Updated on every reference via [`MissHistory::record`]; consulted on
+/// real-cache misses via [`MissHistory::winner`].
+///
+/// ```
+/// use adaptive_cache::{Component, HistoryKind, MissHistory};
+///
+/// let mut h = MissHistory::new(HistoryKind::BitVector { m: 4 });
+/// assert_eq!(h.winner(), Component::A, "ties favour A");
+/// h.record(true, false); // A missed, B hit
+/// assert_eq!(h.winner(), Component::B);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissHistory {
+    kind: HistoryKind,
+    state: State,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum State {
+    /// `bits`: 1 = A missed, 0 = B missed; `len` valid bits; `head` is the
+    /// index of the next slot in the ring.
+    Bits { bits: u64, head: u32, len: u32 },
+    Counters { a: u64, b: u64 },
+    /// Biased counter: above midpoint means A has been missing more.
+    Sat { value: u32, max: u32 },
+}
+
+impl MissHistory {
+    /// Creates an empty history of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`HistoryKind::BitVector`] window is 0 or larger than 64
+    /// or a [`HistoryKind::Saturating`] width is outside 2..=16.
+    pub fn new(kind: HistoryKind) -> Self {
+        let state = match kind {
+            HistoryKind::BitVector { m } => {
+                assert!(
+                    (1..=64).contains(&m),
+                    "bit-vector history window must be 1..=64, got {m}"
+                );
+                State::Bits {
+                    bits: 0,
+                    head: 0,
+                    len: 0,
+                }
+            }
+            HistoryKind::Counters => State::Counters { a: 0, b: 0 },
+            HistoryKind::Saturating { bits } => {
+                assert!(
+                    (2..=16).contains(&bits),
+                    "saturating history width must be 2..=16 bits, got {bits}"
+                );
+                let max = (1u32 << bits) - 1;
+                State::Sat {
+                    value: max / 2 + 1, // midpoint: no bias
+                    max,
+                }
+            }
+        };
+        MissHistory { kind, state }
+    }
+
+    /// The history's kind.
+    pub fn kind(&self) -> HistoryKind {
+        self.kind
+    }
+
+    /// Records the outcome of one reference in the two component caches.
+    ///
+    /// For the bit-vector and saturating variants only *exclusive* misses
+    /// (`a_missed != b_missed`) are recorded, as in the paper: "if both
+    /// component policies would have missed, then there is no need to
+    /// record this in the history".
+    pub fn record(&mut self, a_missed: bool, b_missed: bool) {
+        match &mut self.state {
+            State::Bits { bits, head, len } => {
+                if a_missed != b_missed {
+                    let m = match self.kind {
+                        HistoryKind::BitVector { m } => m,
+                        _ => unreachable!(),
+                    };
+                    let bit = u64::from(a_missed); // 1 = A missed
+                    *bits = (*bits & !(1u64 << *head)) | (bit << *head);
+                    *head = (*head + 1) % m;
+                    *len = (*len + 1).min(m);
+                }
+            }
+            State::Counters { a, b } => {
+                if a_missed {
+                    *a += 1;
+                }
+                if b_missed {
+                    *b += 1;
+                }
+            }
+            State::Sat { value, max } => {
+                if a_missed && !b_missed {
+                    *value = (*value + 1).min(*max);
+                } else if b_missed && !a_missed {
+                    *value = value.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Misses charged to each component within the current window, as
+    /// `(a, b)`.
+    pub fn window_misses(&self) -> (u64, u64) {
+        match &self.state {
+            State::Bits { bits, len, .. } => {
+                // The `len` valid bits always occupy positions 0..len:
+                // before the ring first wraps, `len == head`; afterwards
+                // `len == m` and all m positions are live.
+                let masked = if *len >= 64 {
+                    *bits
+                } else {
+                    *bits & ((1u64 << *len) - 1)
+                };
+                let a = masked.count_ones() as u64;
+                (a, u64::from(*len) - a)
+            }
+            State::Counters { a, b } => (*a, *b),
+            State::Sat { value, max } => {
+                // Present the bias as pseudo-counts around the midpoint.
+                let mid = *max / 2 + 1;
+                if *value >= mid {
+                    (u64::from(*value - mid), 0)
+                } else {
+                    (0, u64::from(mid - *value))
+                }
+            }
+        }
+    }
+
+    /// The component to imitate: the one with fewer recorded misses.
+    /// Ties favour [`Component::A`] (as in the paper's Figure 2 example).
+    pub fn winner(&self) -> Component {
+        let (a, b) = self.window_misses();
+        if a > b {
+            Component::B
+        } else {
+            Component::A
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history_ties_to_a() {
+        for kind in [
+            HistoryKind::paper_default(),
+            HistoryKind::Counters,
+            HistoryKind::Saturating { bits: 8 },
+        ] {
+            assert_eq!(MissHistory::new(kind).winner(), Component::A, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn bitvector_tracks_recent_exclusive_misses() {
+        let mut h = MissHistory::new(HistoryKind::BitVector { m: 8 });
+        for _ in 0..5 {
+            h.record(true, false); // A misses
+        }
+        assert_eq!(h.winner(), Component::B);
+        for _ in 0..8 {
+            h.record(false, true); // B misses, window fills with B
+        }
+        assert_eq!(h.winner(), Component::A);
+        assert_eq!(h.window_misses(), (0, 8));
+    }
+
+    #[test]
+    fn bitvector_ignores_shared_outcomes() {
+        let mut h = MissHistory::new(HistoryKind::BitVector { m: 4 });
+        h.record(true, true);
+        h.record(false, false);
+        assert_eq!(h.window_misses(), (0, 0));
+        assert_eq!(h.winner(), Component::A);
+    }
+
+    #[test]
+    fn bitvector_window_slides() {
+        let mut h = MissHistory::new(HistoryKind::BitVector { m: 2 });
+        h.record(true, false);
+        h.record(true, false);
+        assert_eq!(h.window_misses(), (2, 0));
+        h.record(false, true); // overwrites the oldest A-miss
+        assert_eq!(h.window_misses(), (1, 1));
+        assert_eq!(h.winner(), Component::A, "tie inside the window");
+    }
+
+    #[test]
+    fn counters_accumulate_all_misses() {
+        let mut h = MissHistory::new(HistoryKind::Counters);
+        h.record(true, true); // counted for both (unlike bit-vector)
+        h.record(true, false);
+        assert_eq!(h.window_misses(), (2, 1));
+        assert_eq!(h.winner(), Component::B);
+    }
+
+    #[test]
+    fn saturating_biases_and_saturates() {
+        let mut h = MissHistory::new(HistoryKind::Saturating { bits: 2 });
+        for _ in 0..10 {
+            h.record(true, false);
+        }
+        assert_eq!(h.winner(), Component::B);
+        for _ in 0..10 {
+            h.record(false, true);
+        }
+        assert_eq!(h.winner(), Component::A);
+    }
+
+    #[test]
+    fn full_window_of_64_counts_correctly() {
+        let mut h = MissHistory::new(HistoryKind::BitVector { m: 64 });
+        for _ in 0..64 {
+            h.record(true, false);
+        }
+        assert_eq!(h.window_misses(), (64, 0));
+        for _ in 0..64 {
+            h.record(false, true);
+        }
+        assert_eq!(h.window_misses(), (0, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-vector history window")]
+    fn rejects_oversized_window() {
+        let _ = MissHistory::new(HistoryKind::BitVector { m: 65 });
+    }
+
+    #[test]
+    fn bits_per_set_accounting() {
+        assert_eq!(HistoryKind::paper_default().bits_per_set(), 8);
+        assert_eq!(HistoryKind::Saturating { bits: 10 }.bits_per_set(), 10);
+    }
+}

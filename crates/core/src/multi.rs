@@ -1,0 +1,399 @@
+//! Generalised N-policy adaptivity (paper Section 4.4).
+//!
+//! The paper evaluates a five-policy configuration (LRU, LFU, FIFO, MRU,
+//! Random) — "perhaps not a realistic configuration due to its high
+//! implementation overhead for five sets of extra parallel tag arrays",
+//! but interesting for the achievable benefit. The generalisation is
+//! straightforward: one shadow tag array per component policy, a per-set
+//! window of recent exclusive misses, and Algorithm 1 run against the
+//! winning component.
+
+use cache_sim::{
+    AccessOutcome, BlockAddr, CacheModel, CacheStats, Directory, Eviction, Geometry, PolicyKind,
+    ReplacementPolicy, TagArray, TagMode, Way,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration for a [`MultiAdaptiveCache`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiConfig {
+    /// The component policies (2 or more). Ties in the history favour the
+    /// earliest-listed policy.
+    pub policies: Vec<PolicyKind>,
+    /// Shadow tag mode (shared by all shadow arrays).
+    pub shadow_tags: TagMode,
+    /// Per-set history window: number of recent *informative* references
+    /// (those where the components disagreed) to remember.
+    pub window: usize,
+}
+
+impl MultiConfig {
+    /// The paper's five-policy experiment: LRU, LFU, FIFO, MRU and Random
+    /// with full shadow tags and a window of 4x the typical associativity.
+    pub fn paper_five_policy() -> Self {
+        MultiConfig {
+            policies: PolicyKind::all().to_vec(),
+            shadow_tags: TagMode::Full,
+            window: 32,
+        }
+    }
+
+    /// A custom policy set with full tags and a window of 32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two policies are given.
+    pub fn with_policies(policies: Vec<PolicyKind>) -> Self {
+        assert!(
+            policies.len() >= 2,
+            "multi-policy adaptivity needs at least two policies, got {}",
+            policies.len()
+        );
+        MultiConfig {
+            policies,
+            shadow_tags: TagMode::Full,
+            window: 32,
+        }
+    }
+}
+
+/// Per-set sliding window of which policies missed on recent informative
+/// references.
+#[derive(Debug, Clone)]
+struct WindowHistory {
+    /// Ring of miss bitmasks (bit `i` set = policy `i` missed).
+    ring: Vec<u32>,
+    head: usize,
+    len: usize,
+}
+
+impl WindowHistory {
+    fn new(window: usize) -> Self {
+        WindowHistory {
+            ring: vec![0; window.max(1)],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Records a reference outcome. Only informative outcomes (not all hit,
+    /// not all missed) are stored.
+    fn record(&mut self, miss_mask: u32, all_mask: u32) {
+        if miss_mask == 0 || miss_mask == all_mask {
+            return;
+        }
+        self.ring[self.head] = miss_mask;
+        self.head = (self.head + 1) % self.ring.len();
+        self.len = (self.len + 1).min(self.ring.len());
+    }
+
+    /// The policy with the fewest misses in the window (ties to the lowest
+    /// index).
+    fn winner(&self, n_policies: usize) -> usize {
+        let mut counts = vec![0u32; n_policies];
+        for i in 0..self.len {
+            let mask = self.ring[i];
+            for (p, c) in counts.iter_mut().enumerate() {
+                *c += (mask >> p) & 1;
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, c)| c)
+            .map(|(p, _)| p)
+            .unwrap_or(0)
+    }
+}
+
+/// An adaptive cache over an arbitrary number of component policies.
+///
+/// ```
+/// use adaptive_cache::{MultiAdaptiveCache, MultiConfig};
+/// use cache_sim::{BlockAddr, CacheModel, Geometry};
+///
+/// let geom = Geometry::new(8192, 64, 4).unwrap();
+/// let mut cache = MultiAdaptiveCache::new(geom, MultiConfig::paper_five_policy(), 11);
+/// for i in 0..10_000u64 {
+///     cache.access(BlockAddr::new(i % 300), false);
+/// }
+/// assert!(cache.stats().hits > 0);
+/// ```
+pub struct MultiAdaptiveCache {
+    config: MultiConfig,
+    real: Directory,
+    shadows: Vec<TagArray<PolicyKind>>,
+    history: Vec<WindowHistory>,
+    imitations: Vec<u64>,
+    rng: SmallRng,
+    stats: CacheStats,
+    aliasing_fallbacks: u64,
+}
+
+impl MultiAdaptiveCache {
+    /// Creates an empty multi-policy adaptive cache.
+    pub fn new(geom: Geometry, config: MultiConfig, seed: u64) -> Self {
+        assert!(
+            config.policies.len() >= 2,
+            "multi-policy adaptivity needs at least two policies"
+        );
+        assert!(
+            config.policies.len() <= 32,
+            "at most 32 component policies supported"
+        );
+        let shadows = config
+            .policies
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| TagArray::new(geom, config.shadow_tags, p, seed ^ (i as u64 + 1)))
+            .collect();
+        MultiAdaptiveCache {
+            imitations: vec![0; config.policies.len()],
+            history: (0..geom.num_sets())
+                .map(|_| WindowHistory::new(config.window))
+                .collect(),
+            shadows,
+            real: Directory::new(geom, TagMode::Full),
+            rng: SmallRng::seed_from_u64(seed),
+            stats: CacheStats::default(),
+            aliasing_fallbacks: 0,
+            config,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &MultiConfig {
+        &self.config
+    }
+
+    /// How many replacement decisions imitated each component policy.
+    pub fn imitation_counts(&self) -> &[u64] {
+        &self.imitations
+    }
+
+    /// Misses each pure component policy would have suffered on this
+    /// stream (from its shadow array).
+    pub fn shadow_misses(&self) -> Vec<u64> {
+        self.shadows.iter().map(|s| s.stats().misses).collect()
+    }
+
+    /// Number of aliasing-forced arbitrary evictions (0 with full tags).
+    pub fn aliasing_fallbacks(&self) -> u64 {
+        self.aliasing_fallbacks
+    }
+
+    fn choose_victim(&mut self, set: usize, winner: usize, shadow_miss: Option<Way>) -> usize {
+        let shadow = &self.shadows[winner];
+        let mode = shadow.tag_mode();
+        // Case 1: follow the winner's own eviction if that block is here.
+        if let Some(ev) = shadow_miss {
+            if let Some(way) = self
+                .real
+                .set_ways(set)
+                .iter()
+                .position(|w| w.valid && mode.store(w.tag.raw()) == ev.tag)
+            {
+                return way;
+            }
+        }
+        // Case 2: converge towards the winner's contents.
+        if let Some(way) = self
+            .real
+            .set_ways(set)
+            .iter()
+            .position(|w| w.valid && !shadow.contains(set, mode.store(w.tag.raw())))
+        {
+            return way;
+        }
+        // Case 3: aliasing fallback.
+        self.aliasing_fallbacks += 1;
+        self.rng.gen_range(0..self.real.geometry().associativity())
+    }
+}
+
+impl CacheModel for MultiAdaptiveCache {
+    fn access(&mut self, block: BlockAddr, write: bool) -> AccessOutcome {
+        let (set, stored) = self.real.locate(block);
+
+        let mut miss_mask = 0u32;
+        let mut accs = Vec::with_capacity(self.shadows.len());
+        for (i, shadow) in self.shadows.iter_mut().enumerate() {
+            let acc = shadow.access(block);
+            if !acc.hit {
+                miss_mask |= 1 << i;
+            }
+            accs.push(acc);
+        }
+        let all_mask = (1u32 << self.shadows.len()) - 1;
+        self.history[set].record(miss_mask, all_mask);
+
+        if let Some(way) = self.real.find(set, stored) {
+            self.stats.record(true, write);
+            if write {
+                self.real.mark_dirty(set, way);
+            }
+            return AccessOutcome::hit();
+        }
+        self.stats.record(false, write);
+
+        let way = match self.real.invalid_way(set) {
+            Some(w) => w,
+            None => {
+                let winner = self.history[set].winner(self.shadows.len());
+                self.imitations[winner] += 1;
+                let shadow_miss = (!accs[winner].hit)
+                    .then_some(accs[winner].evicted)
+                    .flatten();
+                self.choose_victim(set, winner, shadow_miss)
+            }
+        };
+
+        let evicted = self.real.fill_at(set, way, stored);
+        if write {
+            self.real.mark_dirty(set, way);
+        }
+        let eviction = evicted.map(|old| {
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.writebacks += 1;
+            }
+            Eviction {
+                block: self.real.geometry().block_from_parts(old.tag.raw(), set),
+                dirty: old.dirty,
+            }
+        });
+        AccessOutcome {
+            hit: false,
+            eviction,
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn geometry(&self) -> &Geometry {
+        self.real.geometry()
+    }
+
+    fn label(&self) -> String {
+        let names: Vec<_> = self.config.policies.iter().map(|p| p.name()).collect();
+        let g = self.geometry();
+        format!(
+            "Adaptive {} ({}KB, {}-way)",
+            names.join("/"),
+            g.size_bytes() / 1024,
+            g.associativity()
+        )
+    }
+}
+
+impl fmt::Debug for MultiAdaptiveCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiAdaptiveCache")
+            .field("label", &self.label())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{Address, Cache};
+
+    #[test]
+    fn five_policy_runs_and_tracks_best() {
+        let geom = Geometry::new(32 * 1024, 64, 8).unwrap();
+        let mut multi = MultiAdaptiveCache::new(geom, MultiConfig::paper_five_policy(), 17);
+        // LRU-hostile loop.
+        let blocks = (geom.size_bytes() / 64) as u64 * 3 / 2;
+        for i in 0..200_000u64 {
+            multi.access(BlockAddr::new(i % blocks), false);
+        }
+        let shadow = multi.shadow_misses();
+        let best = *shadow.iter().min().unwrap();
+        assert!(
+            multi.stats().misses <= best * 2 + 100,
+            "multi {} vs best shadow {best}",
+            multi.stats().misses
+        );
+    }
+
+    #[test]
+    fn two_policy_multi_matches_pairwise_quality() {
+        // Multi with [LRU, LFU] should be in the same quality range as the
+        // dedicated two-policy implementation.
+        let geom = Geometry::new(16 * 1024, 64, 4).unwrap();
+        let cfg = MultiConfig::with_policies(vec![PolicyKind::Lru, PolicyKind::LFU5]);
+        let mut multi = MultiAdaptiveCache::new(geom, cfg, 3);
+        let mut lru = Cache::new(geom, PolicyKind::Lru, 3);
+        let mut lfu = Cache::new(geom, PolicyKind::LFU5, 3);
+        let blocks = (geom.size_bytes() / 64) as u64 * 2;
+        for i in 0..150_000u64 {
+            let b = g_block(i % blocks);
+            multi.access(b, false);
+            lru.access(b, false);
+            lfu.access(b, false);
+        }
+        let best = lru.stats().misses.min(lfu.stats().misses);
+        assert!(multi.stats().misses <= best * 2 + 100);
+    }
+
+    fn g_block(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    #[test]
+    fn window_history_winner() {
+        let mut h = WindowHistory::new(8);
+        assert_eq!(h.winner(3), 0, "empty history ties to policy 0");
+        h.record(0b011, 0b111); // policies 0,1 missed; 2 hit
+        h.record(0b011, 0b111);
+        assert_eq!(h.winner(3), 2);
+        for _ in 0..8 {
+            h.record(0b100, 0b111); // now policy 2 misses a lot
+        }
+        assert_ne!(h.winner(3), 2);
+    }
+
+    #[test]
+    fn window_history_ignores_unanimous() {
+        let mut h = WindowHistory::new(4);
+        h.record(0b111, 0b111);
+        h.record(0b000, 0b111);
+        assert_eq!(h.len, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two policies")]
+    fn rejects_single_policy() {
+        let _ = MultiConfig::with_policies(vec![PolicyKind::Lru]);
+    }
+
+    #[test]
+    fn label_lists_all_policies() {
+        let geom = Geometry::new(8192, 64, 4).unwrap();
+        let c = MultiAdaptiveCache::new(geom, MultiConfig::paper_five_policy(), 0);
+        assert_eq!(c.label(), "Adaptive LRU/LFU/FIFO/MRU/Random (8KB, 4-way)");
+    }
+
+    #[test]
+    fn imitation_counts_sum_to_replacements() {
+        let geom = Geometry::new(4096, 64, 4).unwrap();
+        let mut c = MultiAdaptiveCache::new(geom, MultiConfig::paper_five_policy(), 1);
+        let mut x = 5u64;
+        for _ in 0..50_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            c.access(BlockAddr::new(x % 5000), false);
+        }
+        let imitated: u64 = c.imitation_counts().iter().sum();
+        assert_eq!(imitated, c.stats().evictions);
+        let _ = Address::new(0); // keep the import exercised
+    }
+}

@@ -1,0 +1,215 @@
+//! Instrumentation for the paper's theoretical guarantee (Section 2.5 and
+//! the appendix).
+//!
+//! The paper proves that the adaptive policy with *integer miss counters*
+//! (the [`crate::HistoryKind::Counters`] history) suffers at most **twice**
+//! the misses of the better component policy, per set, up to an additive
+//! constant related to the cache size (the cold-start transient). This
+//! module runs the construction on an arbitrary reference trace and
+//! reports whether the bound holds — it is the backing for the workspace's
+//! property-based tests.
+//!
+//! # Proof sketch (adapted from the paper's appendix)
+//!
+//! Because every structure — the real cache, both shadow arrays and the
+//! history — is partitioned by set, it suffices to prove the bound for a
+//! single set of associativity `k`; summing over sets gives the cache-wide
+//! bound (and the stronger per-set form the paper highlights: if the best
+//! component differs from set to set, the adaptive cache beats *both*
+//! globally by picking the local winner everywhere).
+//!
+//! Fix a set and let `A(t)`, `B(t)` be the component policies' cumulative
+//! miss counts after reference `t`. The counter history imitates `A` when
+//! `A(t) <= B(t)` and `B` otherwise, so time splits into maximal *epochs*
+//! during which the imitated component is constant. Two observations drive
+//! the proof:
+//!
+//! 1. **Within an epoch, the adaptive set converges to the imitated
+//!    component's contents and then misses only when it misses.**
+//!    Suppose the epoch imitates `B`. Whenever the adaptive cache misses,
+//!    Algorithm 1 either evicts the same block `B` evicts (when `B` also
+//!    missed) or evicts a block *not* in `B`'s shadow set. In both cases
+//!    the symmetric difference `|adaptive Δ B|` never grows, and every
+//!    adaptive miss on a block that `B` holds strictly shrinks it (the
+//!    incoming block is in `B`; the victim is not). Since the difference
+//!    is at most `k`, after at most `k` such "extra" misses the contents
+//!    coincide, and from then on every adaptive miss in the epoch is also
+//!    a `B` miss.
+//!
+//! 2. **An epoch ends only after the imitated component has missed.**
+//!    The history flips from `B` to `A` only when `B(t)` overtakes
+//!    `A(t)`, which requires `B` to miss during the epoch. Consequently
+//!    the number of epochs is at most `A(T) + B(T) <= 2·max + ...`; more
+//!    carefully, at a flip the two counters are within one miss of each
+//!    other, so counting epoch by epoch: the adaptive misses during an
+//!    epoch imitating `B` are at most (B's misses in that epoch) + `k`
+//!    (the convergence transient), and B's misses in that epoch are, at
+//!    the flip boundary, balanced against A's. Summing the alternating
+//!    epochs telescopes to
+//!
+//!    ```text
+//!    Adaptive(T)  <=  2 · min(A(T), B(T))  +  c·k
+//!    ```
+//!
+//!    where `c` accounts for the final (unflipped) epoch and cold start.
+//!    The factor 2 is tight in the adversarial limit: an adversary can
+//!    alternate behaviours so that the history always "chases" the
+//!    component that has just stopped being good, paying both components'
+//!    misses across the alternation — but never more.
+//!
+//! The earlier virtual-memory result (reference 22 of the paper) proved 3× for
+//! the realistic algorithm; the paper's appendix tightens it to 2× for
+//! the counter-based variant implemented here. [`check_two_x_bound`]
+//! validates the inequality `adaptive <= 2·min(A, B) + sets·assoc`
+//! empirically on arbitrary traces; the property tests in
+//! `tests/properties.rs` and `tests/theory_bound.rs` exercise it over
+//! random and adversarial inputs and every built-in policy pairing.
+//!
+//! Note the bound needs the *counter* history: the windowed bit-vector
+//! history trades the worst-case guarantee for faster adaptation (paper
+//! Section 2.2), which is why the default configuration is evaluated
+//! empirically instead.
+
+use crate::adaptive::{AdaptiveCache, AdaptiveConfig, Component};
+use crate::history::HistoryKind;
+use cache_sim::{BlockAddr, CacheModel, Geometry, PolicyKind, TagMode};
+
+/// Outcome of checking the 2x miss bound on one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundReport {
+    /// Misses of the adaptive cache.
+    pub adaptive_misses: u64,
+    /// Misses component policy A alone would have suffered.
+    pub misses_a: u64,
+    /// Misses component policy B alone would have suffered.
+    pub misses_b: u64,
+    /// The additive slack allowed (one full cache of cold misses).
+    pub slack: u64,
+    /// Whether `adaptive <= 2 * min(a, b) + slack`.
+    pub holds: bool,
+}
+
+impl BoundReport {
+    /// Misses of the better component policy.
+    pub fn best_component(&self) -> u64 {
+        self.misses_a.min(self.misses_b)
+    }
+
+    /// The bound value `2 * best + slack`.
+    pub fn bound(&self) -> u64 {
+        2 * self.best_component() + self.slack
+    }
+}
+
+/// Runs the theorem configuration (full shadow tags, counter history) for
+/// policies `a`/`b` over `trace` and checks the 2x bound.
+///
+/// ```
+/// use adaptive_cache::theory::check_two_x_bound;
+/// use cache_sim::{BlockAddr, Geometry, PolicyKind};
+///
+/// let geom = Geometry::new(4096, 64, 4).unwrap();
+/// let trace: Vec<BlockAddr> = (0..50_000u64)
+///     .map(|i| BlockAddr::new(i % 150))
+///     .collect();
+/// let report = check_two_x_bound(geom, PolicyKind::Lru, PolicyKind::LFU5, &trace);
+/// assert!(report.holds);
+/// ```
+pub fn check_two_x_bound(
+    geom: Geometry,
+    a: PolicyKind,
+    b: PolicyKind,
+    trace: &[BlockAddr],
+) -> BoundReport {
+    let cfg = AdaptiveConfig::with_policies(a, b)
+        .shadow_tag_mode(TagMode::Full)
+        .history_kind(HistoryKind::Counters);
+    let mut cache = AdaptiveCache::new(geom, cfg, 0x07_E011);
+    for &block in trace {
+        cache.access(block, false);
+    }
+    let adaptive_misses = cache.stats().misses;
+    let misses_a = cache.shadow_stats(Component::A).1;
+    let misses_b = cache.shadow_stats(Component::B).1;
+    let slack = (geom.num_sets() * geom.associativity()) as u64;
+    let best = misses_a.min(misses_b);
+    BoundReport {
+        adaptive_misses,
+        misses_a,
+        misses_b,
+        slack,
+        holds: adaptive_misses <= 2 * best + slack,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::new(4096, 64, 4).unwrap()
+    }
+
+    #[test]
+    fn bound_holds_on_cyclic_scan() {
+        let trace: Vec<_> = (0..100_000u64).map(|i| BlockAddr::new(i % 100)).collect();
+        let r = check_two_x_bound(geom(), PolicyKind::Lru, PolicyKind::LFU5, &trace);
+        assert!(r.holds, "{r:?}");
+    }
+
+    #[test]
+    fn bound_holds_on_scatter() {
+        let mut x = 88u64;
+        let trace: Vec<_> = (0..100_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                BlockAddr::new(x % 3000)
+            })
+            .collect();
+        for (a, b) in [
+            (PolicyKind::Lru, PolicyKind::LFU5),
+            (PolicyKind::Fifo, PolicyKind::Mru),
+            (PolicyKind::Lru, PolicyKind::Fifo),
+        ] {
+            let r = check_two_x_bound(geom(), a, b, &trace);
+            assert!(r.holds, "{a:?}/{b:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn bound_value_arithmetic() {
+        let r = BoundReport {
+            adaptive_misses: 10,
+            misses_a: 7,
+            misses_b: 4,
+            slack: 3,
+            holds: true,
+        };
+        assert_eq!(r.best_component(), 4);
+        assert_eq!(r.bound(), 11);
+    }
+
+    #[test]
+    fn adversarial_phase_flipping_stays_bounded() {
+        // Alternate between LRU-hostile scans and LFU-hostile shifting hot
+        // sets; the adaptive policy will be wrong at each transition but
+        // must stay within the bound.
+        let mut trace = Vec::new();
+        for phase in 0..20 {
+            if phase % 2 == 0 {
+                for i in 0..5000u64 {
+                    trace.push(BlockAddr::new(i % 96)); // scan > 64-block cache
+                }
+            } else {
+                for i in 0..5000u64 {
+                    // shifting hot set defeats stale frequency counts
+                    trace.push(BlockAddr::new(1000 + phase * 13 + (i % 24)));
+                }
+            }
+        }
+        let r = check_two_x_bound(geom(), PolicyKind::Lru, PolicyKind::LFU5, &trace);
+        assert!(r.holds, "{r:?}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Hybrid branch predictor (Table 1: 16KB gshare / 16KB bimodal / 16KB
+//! meta chooser, 4K-entry 4-way BTB).
+
+use serde::{Deserialize, Serialize};
+
+/// Two-bit saturating counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Ctr2(u8);
+
+impl Ctr2 {
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Aggregate prediction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchStats {
+    /// Conditional branches predicted.
+    pub predictions: u64,
+    /// Direction mispredictions.
+    pub mispredictions: u64,
+    /// Taken branches whose target missed in the BTB.
+    pub btb_misses: u64,
+}
+
+impl BranchStats {
+    /// Direction misprediction rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// The paper's hybrid predictor: a meta (chooser) table selects per branch
+/// between a gshare and a bimodal component; a 4-way BTB provides targets
+/// for taken branches.
+///
+/// ```
+/// use cpu_model::BranchPredictor;
+///
+/// let mut bp = BranchPredictor::paper_default();
+/// // A loop branch (always taken) becomes perfectly predicted.
+/// for _ in 0..64 {
+///     bp.predict_and_update(0x400_000, true, 0x400_100);
+/// }
+/// let stats = bp.stats();
+/// assert!(stats.miss_rate() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    gshare: Vec<Ctr2>,
+    bimodal: Vec<Ctr2>,
+    meta: Vec<Ctr2>,
+    history: u64,
+    index_mask: u64,
+    /// BTB: `sets x ways` of tags (block-granular PC tags) and targets.
+    btb_tags: Vec<u64>,
+    btb_lru: Vec<u8>,
+    btb_sets: usize,
+    btb_ways: usize,
+    stats: BranchStats,
+}
+
+impl BranchPredictor {
+    /// Table 1 sizing: 2^13 two-bit entries per 16 KB table (2 KB of state
+    /// each in a real implementation; the paper's "16KB" labels the
+    /// structure budget), 4K-entry 4-way BTB.
+    pub fn paper_default() -> Self {
+        Self::new(13, 4096, 4)
+    }
+
+    /// Custom sizing: `log2_entries` per direction table, and a BTB of
+    /// `btb_entries` total entries with `btb_ways` ways.
+    pub fn new(log2_entries: u32, btb_entries: usize, btb_ways: usize) -> Self {
+        assert!((4..=24).contains(&log2_entries));
+        assert!(btb_ways >= 1 && btb_entries.is_multiple_of(btb_ways));
+        let n = 1usize << log2_entries;
+        BranchPredictor {
+            gshare: vec![Ctr2::default(); n],
+            bimodal: vec![Ctr2::default(); n],
+            meta: vec![Ctr2(2); n], // slight initial preference for gshare
+            history: 0,
+            index_mask: (n - 1) as u64,
+            btb_tags: vec![u64::MAX; btb_entries],
+            btb_lru: vec![0; btb_entries],
+            btb_sets: btb_entries / btb_ways,
+            btb_ways,
+            stats: BranchStats::default(),
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> BranchStats {
+        self.stats
+    }
+
+    /// Makes a prediction for the conditional branch at `pc`, updates all
+    /// tables with the actual outcome, and reports
+    /// `(direction_correct, btb_hit)`.
+    ///
+    /// `btb_hit` is only meaningful for taken branches — a taken branch
+    /// with a BTB miss costs a fetch bubble even when the direction was
+    /// predicted correctly.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool, target: u64) -> (bool, bool) {
+        let pc_idx = ((pc >> 2) & self.index_mask) as usize;
+        let gs_idx = (((pc >> 2) ^ self.history) & self.index_mask) as usize;
+
+        let g = self.gshare[gs_idx].predict();
+        let b = self.bimodal[pc_idx].predict();
+        let use_gshare = self.meta[pc_idx].predict();
+        let prediction = if use_gshare { g } else { b };
+
+        self.stats.predictions += 1;
+        let correct = prediction == taken;
+        if !correct {
+            self.stats.mispredictions += 1;
+        }
+
+        // Train the chooser only when the components disagree.
+        if g != b {
+            self.meta[pc_idx].update(g == taken);
+        }
+        self.gshare[gs_idx].update(taken);
+        self.bimodal[pc_idx].update(taken);
+        self.history = ((self.history << 1) | u64::from(taken)) & self.index_mask;
+
+        let btb_hit = if taken {
+            let hit = self.btb_access(pc, target);
+            if !hit {
+                self.stats.btb_misses += 1;
+            }
+            hit
+        } else {
+            true
+        };
+        (correct, btb_hit)
+    }
+
+    /// Looks up and updates the BTB; returns whether `pc` hit.
+    fn btb_access(&mut self, pc: u64, _target: u64) -> bool {
+        let set = ((pc >> 2) as usize) % self.btb_sets;
+        let base = set * self.btb_ways;
+        let ways = &mut self.btb_tags[base..base + self.btb_ways];
+        if let Some(w) = ways.iter().position(|&t| t == pc) {
+            self.btb_lru[base + w] = 0;
+            for (i, l) in self.btb_lru[base..base + self.btb_ways].iter_mut().enumerate() {
+                if i != w {
+                    *l = l.saturating_add(1);
+                }
+            }
+            return true;
+        }
+        // Miss: install over the LRU way.
+        let victim = (0..self.btb_ways)
+            .max_by_key(|&w| self.btb_lru[base + w])
+            .unwrap();
+        self.btb_tags[base + victim] = pc;
+        self.btb_lru[base + victim] = 0;
+        for (i, l) in self.btb_lru[base..base + self.btb_ways].iter_mut().enumerate() {
+            if i != victim {
+                *l = l.saturating_add(1);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut bp = BranchPredictor::paper_default();
+        for _ in 0..1000 {
+            bp.predict_and_update(0x1000, true, 0x2000);
+        }
+        // After warm-up, essentially perfect.
+        assert!(bp.stats().miss_rate() < 0.02);
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        let mut bp = BranchPredictor::paper_default();
+        let mut wrong_late = 0;
+        for i in 0..2000u64 {
+            let taken = i % 2 == 0;
+            let (correct, _) = bp.predict_and_update(0x3000, taken, 0x4000);
+            if i >= 1000 && !correct {
+                wrong_late += 1;
+            }
+        }
+        // Bimodal alone would be ~50% on alternation; history catches it.
+        assert!(wrong_late < 100, "late mispredictions: {wrong_late}");
+    }
+
+    #[test]
+    fn random_branches_are_hard() {
+        let mut bp = BranchPredictor::paper_default();
+        // Deterministic pseudo-random outcomes.
+        let mut x = 1234_5678u64;
+        let mut wrong = 0;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let (c, _) = bp.predict_and_update(0x5000, x.is_multiple_of(2), 0x6000);
+            if !c {
+                wrong += 1;
+            }
+        }
+        let rate = wrong as f64 / 4000.0;
+        assert!(rate > 0.3, "random branches predicted suspiciously well ({rate})");
+    }
+
+    #[test]
+    fn btb_hits_after_first_encounter() {
+        let mut bp = BranchPredictor::paper_default();
+        let (_, hit1) = bp.predict_and_update(0x7000, true, 0x8000);
+        let (_, hit2) = bp.predict_and_update(0x7000, true, 0x8000);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(bp.stats().btb_misses, 1);
+    }
+
+    #[test]
+    fn not_taken_branches_skip_btb() {
+        let mut bp = BranchPredictor::paper_default();
+        let (_, hit) = bp.predict_and_update(0x9000, false, 0xa000);
+        assert!(hit, "not-taken branches never pay a BTB penalty");
+        assert_eq!(bp.stats().btb_misses, 0);
+    }
+
+    #[test]
+    fn btb_capacity_evicts() {
+        let mut bp = BranchPredictor::new(13, 8, 2); // tiny BTB: 4 sets x 2
+        // Fill one set with 3 distinct branches mapping to the same set.
+        let pcs = [0x0u64, 0x40, 0x80]; // (pc>>2) % 4 == 0 for all
+        for &pc in &pcs {
+            bp.predict_and_update(pc * 4, true, 0x1);
+        }
+        // First one was evicted by the third.
+        let (_, hit) = bp.predict_and_update(pcs[0] * 4, true, 0x1);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn stats_rate_handles_empty() {
+        assert_eq!(BranchStats::default().miss_rate(), 0.0);
+    }
+}

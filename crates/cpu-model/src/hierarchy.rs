@@ -1,0 +1,513 @@
+//! The two-level memory hierarchy: split 16 KB L1 I/D caches in front of
+//! a unified L2 with a pluggable replacement organisation.
+
+use crate::config::{CacheParams, CpuConfig};
+use crate::prefetch::{PrefetchEngine, PrefetchStats, Prefetcher};
+use cache_sim::{Address, BlockAddr, Cache, CacheModel, CacheStats, Geometry, PolicyKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The level that served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Level {
+    /// Served by the first-level cache.
+    L1,
+    /// Served by the unified second-level cache.
+    L2,
+    /// Served by main memory.
+    Memory,
+}
+
+/// Result of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierAccess {
+    /// Where the data came from.
+    pub level: Level,
+    /// Dirty L2 lines written back to memory by this access (bus traffic).
+    pub memory_writebacks: u32,
+}
+
+/// The memory hierarchy. Every level is any [`CacheModel`] — plain
+/// [`Cache`]s, `adaptive_cache::AdaptiveCache`s (the paper's Section 4.6
+/// also evaluates adaptive L1s), SBAR caches, etc. The L1 parameters
+/// default to conventional LRU caches built from the [`CpuConfig`].
+#[derive(Debug)]
+pub struct Hierarchy<L2: CacheModel, L1I: CacheModel = Cache<PolicyKind>, L1D: CacheModel = Cache<PolicyKind>> {
+    l1i: L1I,
+    l1d: L1D,
+    l2: L2,
+    l1i_geom: Geometry,
+    l1d_geom: Geometry,
+    l2_geom: Geometry,
+    /// Demand misses at the L2 (excludes prefetch traffic).
+    demand_l2_misses: u64,
+    /// Optional L2 prefetcher + usefulness bookkeeping.
+    prefetcher: Option<PrefetchEngine>,
+    prefetched: HashSet<u64>,
+    pf_stats: PrefetchStats,
+}
+
+fn build_l1(p: CacheParams, seed: u64) -> (Cache<PolicyKind>, Geometry) {
+    let geom = Geometry::new(p.size_bytes, p.line_bytes, p.associativity)
+        .expect("invalid L1 geometry");
+    (Cache::new(geom, PolicyKind::Lru, seed), geom)
+}
+
+/// Geometry for an L1 level of `config` (used when supplying custom L1
+/// organisations to [`Hierarchy::with_l1s`]).
+pub fn l1_geometry(p: CacheParams) -> Geometry {
+    Geometry::new(p.size_bytes, p.line_bytes, p.associativity).expect("invalid L1 geometry")
+}
+
+impl<L2: CacheModel> Hierarchy<L2> {
+    /// Builds the hierarchy around an existing L2 organisation, with the
+    /// conventional LRU L1s of the paper's Table 1.
+    pub fn new(config: &CpuConfig, l2: L2) -> Self {
+        let (l1i, l1i_geom) = build_l1(config.l1i, 0x11);
+        let (l1d, l1d_geom) = build_l1(config.l1d, 0x1D);
+        let l2_geom = *l2.geometry();
+        Hierarchy {
+            l1i,
+            l1d,
+            l2,
+            l1i_geom,
+            l1d_geom,
+            l2_geom,
+            demand_l2_misses: 0,
+            prefetcher: None,
+            prefetched: HashSet::new(),
+            pf_stats: PrefetchStats::default(),
+        }
+    }
+}
+
+impl<L2: CacheModel, L1I: CacheModel, L1D: CacheModel> Hierarchy<L2, L1I, L1D> {
+    /// Builds the hierarchy with custom L1 organisations (paper Section
+    /// 4.6 evaluates LRU/LFU-adaptive L1 instruction and data caches).
+    pub fn with_l1s(l1i: L1I, l1d: L1D, l2: L2) -> Self {
+        Hierarchy {
+            l1i_geom: *l1i.geometry(),
+            l1d_geom: *l1d.geometry(),
+            l2_geom: *l2.geometry(),
+            l1i,
+            l1d,
+            l2,
+            demand_l2_misses: 0,
+            prefetcher: None,
+            prefetched: HashSet::new(),
+            pf_stats: PrefetchStats::default(),
+        }
+    }
+
+    /// Attaches an L2 prefetcher (the future-work experiment of the
+    /// paper's Section 6; see [`crate::prefetch`]). Prefetch fills go
+    /// through the L2's normal replacement path but are excluded from
+    /// [`Hierarchy::demand_l2_misses`].
+    pub fn set_prefetcher(&mut self, engine: Option<PrefetchEngine>) {
+        self.prefetcher = engine;
+    }
+
+    /// L2 misses caused by demand traffic only (instruction fetches, data
+    /// accesses, L1 writebacks) — prefetch fills excluded.
+    pub fn demand_l2_misses(&self) -> u64 {
+        self.demand_l2_misses
+    }
+
+    /// Prefetch usefulness statistics.
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.pf_stats
+    }
+
+    /// The L2 organisation.
+    pub fn l2(&self) -> &L2 {
+        &self.l2
+    }
+
+    /// Mutable access to the L2 (e.g. for Figure 7 phase sampling).
+    pub fn l2_mut(&mut self) -> &mut L2 {
+        &mut self.l2
+    }
+
+    /// L1 instruction-cache statistics.
+    pub fn l1i_stats(&self) -> &CacheStats {
+        self.l1i.stats()
+    }
+
+    /// L1 data-cache statistics.
+    pub fn l1d_stats(&self) -> &CacheStats {
+        self.l1d.stats()
+    }
+
+    /// The L1 instruction-cache organisation.
+    pub fn l1i(&self) -> &L1I {
+        &self.l1i
+    }
+
+    /// The L1 data-cache organisation.
+    pub fn l1d(&self) -> &L1D {
+        &self.l1d
+    }
+
+    /// Consumes the hierarchy, returning the L2.
+    pub fn into_l2(self) -> L2 {
+        self.l2
+    }
+
+    /// One instruction fetch of the block containing `pc`.
+    pub fn inst_fetch(&mut self, pc: u64) -> HierAccess {
+        let block = self.l1i_geom.block_of(Address::new(pc));
+        let out = self.l1i.access(block, false);
+        if out.hit {
+            return HierAccess {
+                level: Level::L1,
+                memory_writebacks: 0,
+            };
+        }
+        // Instruction lines are never dirty; the L1I eviction needs no
+        // writeback. Fill from the unified L2.
+        self.l2_fill(pc, false)
+    }
+
+    /// One data access to `addr`.
+    pub fn data_access(&mut self, addr: u64, write: bool) -> HierAccess {
+        let block = self.l1d_geom.block_of(Address::new(addr));
+        let out = self.l1d.access(block, write);
+        let mut wbs = 0;
+        if let Some(ev) = out.eviction {
+            if ev.dirty {
+                // Write the evicted L1 line back into the L2.
+                let byte = ev.block.raw() << self.l1d_geom.offset_bits();
+                wbs += self.l2_write_back(byte);
+            }
+        }
+        if out.hit {
+            return HierAccess {
+                level: Level::L1,
+                memory_writebacks: wbs,
+            };
+        }
+        let mut fill = self.l2_fill(addr, false);
+        fill.memory_writebacks += wbs;
+        fill
+    }
+
+    /// Fills a block from the L2 (allocating there on miss); returns the
+    /// serving level.
+    fn l2_fill(&mut self, addr: u64, write: bool) -> HierAccess {
+        let block = self.l2_geom.block_of(Address::new(addr));
+        let out = self.l2.access(block, write);
+        if !out.hit {
+            self.demand_l2_misses += 1;
+        }
+        self.score_and_prefetch(block, out.hit, out.eviction);
+        let memory_writebacks =
+            u32::from(out.eviction.map(|e| e.dirty).unwrap_or(false));
+        HierAccess {
+            level: if out.hit { Level::L2 } else { Level::Memory },
+            memory_writebacks,
+        }
+    }
+
+    /// An L1 dirty-eviction writeback into the L2; returns the number of
+    /// memory writebacks it caused in turn.
+    fn l2_write_back(&mut self, addr: u64) -> u32 {
+        let block = self.l2_geom.block_of(Address::new(addr));
+        let out = self.l2.access(block, true);
+        if !out.hit {
+            self.demand_l2_misses += 1;
+        }
+        u32::from(out.eviction.map(|e| e.dirty).unwrap_or(false))
+    }
+
+    /// Prefetch bookkeeping around a demand L2 access: score usefulness,
+    /// retire evicted prefetches, and issue the next proposal.
+    fn score_and_prefetch(
+        &mut self,
+        block: BlockAddr,
+        hit: bool,
+        eviction: Option<cache_sim::Eviction>,
+    ) {
+        if self.prefetcher.is_none() {
+            return;
+        }
+        if let Some(ev) = eviction {
+            if self.prefetched.remove(&ev.block.raw()) {
+                self.pf_stats.useless += 1;
+            }
+        }
+        if hit && self.prefetched.remove(&block.raw()) {
+            self.pf_stats.useful += 1;
+        }
+        if !hit {
+            let proposal = self
+                .prefetcher
+                .as_mut()
+                .expect("checked above")
+                .on_miss(block);
+            if let Some(p) = proposal {
+                let out = self.l2.access(p, false);
+                if !out.hit {
+                    self.pf_stats.issued += 1;
+                    self.prefetched.insert(p.raw());
+                    if let Some(ev) = out.eviction {
+                        if self.prefetched.remove(&ev.block.raw()) {
+                            self.pf_stats.useless += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Statistics from a functional (timing-free) run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FunctionalStats {
+    /// Instructions consumed.
+    pub instructions: u64,
+    /// Data reads / writes issued to the hierarchy.
+    pub data_accesses: u64,
+    /// Instruction-block fetches issued.
+    pub inst_fetches: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// L2 misses (demand, from both I and D sides).
+    pub l2_misses: u64,
+}
+
+impl FunctionalStats {
+    /// L2 misses per thousand instructions.
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// Drives a hierarchy with a trace **without timing** — exactly the same
+/// reference stream the full pipeline would produce, at a fraction of the
+/// cost. Used for miss-rate-only experiments (Figures 3, 5, 8) and the
+/// 100-program extended set.
+pub fn run_functional<L2, L1I, L1D, I>(
+    hierarchy: &mut Hierarchy<L2, L1I, L1D>,
+    trace: I,
+    max_insts: u64,
+) -> FunctionalStats
+where
+    L2: CacheModel,
+    L1I: CacheModel,
+    L1D: CacheModel,
+    I: Iterator<Item = workloads::Inst>,
+{
+    let mut stats = FunctionalStats::default();
+    let mut last_iblock = u64::MAX;
+    for inst in trace.take(max_insts as usize) {
+        stats.instructions += 1;
+        let iblock = inst.pc / hierarchy.l1i_geom.line_bytes() as u64;
+        if iblock != last_iblock {
+            last_iblock = iblock;
+            stats.inst_fetches += 1;
+            hierarchy.inst_fetch(inst.pc);
+        }
+        if let Some(addr) = inst.mem_addr() {
+            stats.data_accesses += 1;
+            let write = matches!(inst.kind, workloads::InstKind::Store { .. });
+            hierarchy.data_access(addr, write);
+        }
+    }
+    stats.l1d_misses = hierarchy.l1d_stats().misses;
+    stats.l1i_misses = hierarchy.l1i_stats().misses;
+    // Count only demand misses at the L2 (instruction fetches, data
+    // accesses and L1 writebacks); prefetch fills are excluded.
+    stats.l2_misses = hierarchy.demand_l2_misses();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{primary_suite, Inst, InstKind};
+
+    fn hier() -> Hierarchy<Cache<PolicyKind>> {
+        let cfg = CpuConfig::paper_default();
+        let geom = Geometry::new(
+            cfg.l2.size_bytes,
+            cfg.l2.line_bytes,
+            cfg.l2.associativity,
+        )
+        .unwrap();
+        Hierarchy::new(&cfg, Cache::new(geom, PolicyKind::Lru, 7))
+    }
+
+    #[test]
+    fn l1_hit_after_fill() {
+        let mut h = hier();
+        assert_eq!(h.data_access(0x4000, false).level, Level::Memory);
+        assert_eq!(h.data_access(0x4000, false).level, Level::L1);
+        assert_eq!(h.data_access(0x4008, false).level, Level::L1, "same line");
+    }
+
+    #[test]
+    fn l2_serves_l1_conflicts() {
+        let mut h = hier();
+        // L1D is 16KB 4-way (64 sets): blocks 64 sets apart conflict.
+        // Touch 5 conflicting lines: L1 evicts, L2 still holds them.
+        let stride = 64 * 64; // one L1 set apart
+        for i in 0..5u64 {
+            h.data_access(i * stride, false);
+        }
+        assert_eq!(h.data_access(0, false).level, Level::L2);
+    }
+
+    #[test]
+    fn dirty_l1_eviction_updates_l2() {
+        let mut h = hier();
+        let stride = 64 * 64;
+        h.data_access(0, true); // dirty in L1
+        for i in 1..5u64 {
+            h.data_access(i * stride, false); // evicts line 0 from L1
+        }
+        // The writeback must have hit the L2 (it was allocated there on
+        // the initial fill), keeping it present and dirty.
+        assert_eq!(h.l2().stats().writebacks, 0, "nothing left L2 yet");
+        assert!(h.l2().stats().hits >= 1, "L1 writeback hit the L2");
+    }
+
+    #[test]
+    fn inst_fetches_fill_both_levels() {
+        let mut h = hier();
+        assert_eq!(h.inst_fetch(0x40_0000).level, Level::Memory);
+        assert_eq!(h.inst_fetch(0x40_0000).level, Level::L1);
+        assert_eq!(h.l1i_stats().misses, 1);
+    }
+
+    #[test]
+    fn functional_run_counts() {
+        let mut h = hier();
+        let trace = (0..1000u64).map(|i| Inst::free(0x40_0000 + (i % 16) * 4, InstKind::Load {
+            addr: (i % 50) * 64,
+        }));
+        let s = run_functional(&mut h, trace, 1000);
+        assert_eq!(s.instructions, 1000);
+        assert_eq!(s.data_accesses, 1000);
+        assert!(s.l2_misses >= 50, "cold misses for 50 blocks");
+        assert!(s.l2_mpki() >= 50.0);
+    }
+
+    #[test]
+    fn functional_run_on_real_benchmark() {
+        let mut h = hier();
+        let b = &primary_suite()[0];
+        let s = run_functional(&mut h, b.spec.generator(), 20_000);
+        assert_eq!(s.instructions, 20_000);
+        assert!(s.data_accesses > 5_000);
+        assert!(s.l2_misses > 0);
+    }
+
+    #[test]
+    fn into_l2_returns_the_model() {
+        let mut h = hier();
+        h.data_access(0, false);
+        let l2 = h.into_l2();
+        assert_eq!(l2.stats().accesses, 1);
+    }
+}
+
+#[cfg(test)]
+mod prefetch_integration_tests {
+    use super::*;
+    use crate::prefetch::PrefetchKind;
+    use workloads::{Inst, InstKind};
+
+    fn hier_with(pf: PrefetchKind) -> Hierarchy<Cache<PolicyKind>> {
+        let cfg = CpuConfig::paper_default();
+        let geom = Geometry::new(
+            cfg.l2.size_bytes,
+            cfg.l2.line_bytes,
+            cfg.l2.associativity,
+        )
+        .unwrap();
+        let mut h = Hierarchy::new(&cfg, Cache::new(geom, PolicyKind::Lru, 7));
+        h.set_prefetcher(pf.build());
+        h
+    }
+
+    fn streaming_trace(n: u64) -> impl Iterator<Item = Inst> {
+        // A pure streaming read over a huge region: ideal for next-line.
+        (0..n).map(|i| Inst::free(0x40_0000 + (i % 16) * 4, InstKind::Load { addr: i * 64 }))
+    }
+
+    #[test]
+    fn next_line_prefetching_halves_streaming_misses() {
+        let mut base = hier_with(PrefetchKind::None);
+        let b = run_functional(&mut base, streaming_trace(100_000), 100_000);
+
+        let mut pf = hier_with(PrefetchKind::NextLine);
+        let p = run_functional(&mut pf, streaming_trace(100_000), 100_000);
+
+        assert!(
+            p.l2_misses * 3 < b.l2_misses * 2,
+            "next-line should remove a big share of streaming misses ({} vs {})",
+            p.l2_misses,
+            b.l2_misses
+        );
+        let stats = pf.prefetch_stats();
+        assert!(stats.issued > 10_000);
+        assert!(stats.accuracy() > 0.8, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    fn adaptive_prefetcher_handles_strided_streams() {
+        let strided = |n: u64| {
+            (0..n).map(|i| {
+                Inst::free(0x40_0000 + (i % 16) * 4, InstKind::Load { addr: i * 5 * 64 })
+            })
+        };
+        let mut base = hier_with(PrefetchKind::None);
+        let b = run_functional(&mut base, strided(80_000), 80_000);
+        let mut next = hier_with(PrefetchKind::NextLine);
+        let nl = run_functional(&mut next, strided(80_000), 80_000);
+        let mut adapt = hier_with(PrefetchKind::Adaptive);
+        let a = run_functional(&mut adapt, strided(80_000), 80_000);
+
+        // Next-line is useless on stride 5; adaptive must fall back to the
+        // stride component and beat both the baseline and next-line.
+        assert!(a.l2_misses < b.l2_misses, "{} vs base {}", a.l2_misses, b.l2_misses);
+        assert!(a.l2_misses < nl.l2_misses, "{} vs next-line {}", a.l2_misses, nl.l2_misses);
+    }
+
+    #[test]
+    fn prefetch_traffic_is_excluded_from_demand_misses() {
+        let mut pf = hier_with(PrefetchKind::NextLine);
+        let p = run_functional(&mut pf, streaming_trace(50_000), 50_000);
+        // Raw L2 stats include prefetch fills; the demand counter must be
+        // strictly smaller.
+        assert!(pf.l2().stats().misses > p.l2_misses);
+    }
+
+    #[test]
+    fn useless_prefetches_are_counted() {
+        // Pointer-chase-like stream: next-line proposals never get used.
+        let chase = (0..60_000u64).map(|i| {
+            Inst::free(
+                0x40_0000,
+                InstKind::Load {
+                    addr: (i.wrapping_mul(0x9E37_79B9) % (1 << 22)) / 64 * 64 * 64,
+                },
+            )
+        });
+        let mut pf = hier_with(PrefetchKind::NextLine);
+        run_functional(&mut pf, chase, 60_000);
+        let s = pf.prefetch_stats();
+        assert!(s.issued > 1_000);
+        assert!(
+            s.accuracy() < 0.2,
+            "random chase must waste prefetches, accuracy {}",
+            s.accuracy()
+        );
+    }
+}

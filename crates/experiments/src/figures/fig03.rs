@@ -1,0 +1,52 @@
+//! Figure 3: L2 misses-per-thousand-instructions for each benchmark in the
+//! primary set, for the adaptive policy and its component policies.
+
+use crate::report::Table;
+use crate::runner::{parallel_map, run_functional_l2, L2Kind, PAPER_L2};
+use workloads::primary_suite;
+
+/// Regenerates Figure 3 (lower is better).
+pub fn fig03_mpki(insts: u64) -> Table {
+    let suite = primary_suite();
+    let kinds = L2Kind::headline_trio();
+    let mut table = Table::new(
+        "Figure 3: L2 misses per thousand instructions (512KB, 8-way)",
+        "benchmark",
+        kinds.iter().map(|k| k.label()).collect(),
+    );
+    let rows = parallel_map(&suite, |b| {
+        let values: Vec<f64> = kinds
+            .iter()
+            .map(|k| run_functional_l2(b, k, PAPER_L2, insts).stats.l2_mpki())
+            .collect();
+        (b.name.to_string(), values)
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    table.push_average();
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn fig03_shape_holds() {
+        // Small instruction budget: we only check structural properties.
+        let t = fig03_mpki(400_000);
+        assert_eq!(t.rows.len(), 27, "26 benchmarks + average");
+        let avg = t.row("Average").unwrap();
+        let (adaptive, lfu, lru) = (avg[0], avg[1], avg[2]);
+        assert!(
+            adaptive < lru,
+            "adaptive ({adaptive:.1}) must beat LRU ({lru:.1}) on average"
+        );
+        assert!(
+            adaptive < lfu * 1.05,
+            "adaptive ({adaptive:.1}) must be at worst marginally above LFU ({lfu:.1})"
+        );
+    }
+}

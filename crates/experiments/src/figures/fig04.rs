@@ -1,0 +1,50 @@
+//! Figure 4: cycles-per-instruction for each benchmark in the primary set,
+//! for the adaptive policy and its component policies.
+
+use crate::report::Table;
+use crate::runner::{parallel_map, run_timed, L2Kind};
+use cpu_model::CpuConfig;
+use workloads::primary_suite;
+
+/// Regenerates Figure 4 (lower is better).
+pub fn fig04_cpi(insts: u64) -> Table {
+    let suite = primary_suite();
+    let kinds = L2Kind::headline_trio();
+    let config = CpuConfig::paper_default();
+    let mut table = Table::new(
+        "Figure 4: cycles per instruction (512KB, 8-way L2)",
+        "benchmark",
+        kinds.iter().map(|k| k.label()).collect(),
+    );
+    let rows = parallel_map(&suite, |b| {
+        let values: Vec<f64> = kinds
+            .iter()
+            .map(|k| run_timed(b, k, config, insts).cpi())
+            .collect();
+        (b.name.to_string(), values)
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    table.push_average();
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn fig04_shape_holds() {
+        let t = fig04_cpi(300_000);
+        assert_eq!(t.rows.len(), 27);
+        let avg = t.row("Average").unwrap();
+        let (adaptive, _lfu, lru) = (avg[0], avg[1], avg[2]);
+        assert!(adaptive > 0.2, "CPI must be physical, got {adaptive}");
+        assert!(
+            adaptive < lru * 1.02,
+            "adaptive CPI ({adaptive:.2}) must not lose to LRU ({lru:.2})"
+        );
+    }
+}

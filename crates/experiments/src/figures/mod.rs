@@ -1,0 +1,48 @@
+//! One module per table/figure of the paper's evaluation (Section 4).
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`table1`] | Table 1 — simulated processor configuration |
+//! | [`fig03`] | Figure 3 — L2 MPKI, Adaptive vs LFU vs LRU |
+//! | [`fig04`] | Figure 4 — CPI, same three organisations |
+//! | [`fig05`] | Figure 5 — partial-tag size sweep |
+//! | [`fig06`] | Figure 6 — adaptive vs bigger conventional caches |
+//! | [`fig07`] | Figure 7 — per-set policy-choice phase maps |
+//! | [`fig08`] | Figure 8 — FIFO/MRU adaptivity |
+//! | [`fig09`] | Figure 9 — benefit vs associativity |
+//! | [`fig10`] | Figure 10 — store-buffer size sweep |
+//! | [`sec44`] | Section 4.4 — five-policy adaptivity |
+//! | [`sec46`] | Section 4.6 — adaptivity at the L1s |
+//! | [`sec47`] | Section 4.7 — SBAR set sampling |
+//! | [`headline()`](headline()) | Section 4.2 — headline scalars over both suites |
+//! | [`storage`] | Section 3.2 — SRAM storage overheads |
+
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod headline;
+pub mod sec44;
+pub mod sec46;
+pub mod sec47;
+pub mod storage;
+pub mod table1;
+
+pub use fig03::fig03_mpki;
+pub use fig04::fig04_cpi;
+pub use fig05::fig05_partial_tags;
+pub use fig06::fig06_vs_bigger;
+pub use fig07::{fig07_phase_map, PhaseMap};
+pub use fig08::fig08_fifo_mru;
+pub use fig09::fig09_associativity;
+pub use fig10::fig10_store_buffer;
+pub use headline::headline;
+pub use sec44::sec44_five_policy;
+pub use sec46::sec46_l1_adaptivity;
+pub use sec47::sec47_sbar;
+pub use storage::storage_table;
+pub use table1::table1_config;

@@ -1,0 +1,56 @@
+//! Section 3.2: SRAM storage arithmetic.
+
+use crate::report::Table;
+use adaptive_cache::overhead::StorageModel;
+use adaptive_cache::AdaptiveConfig;
+use cache_sim::{Geometry, TagMode};
+
+/// Regenerates the paper's storage numbers: total SRAM (KB) and percent
+/// overhead for the conventional cache and the adaptive variants, for
+/// 64 B and 128 B lines.
+pub fn storage_table() -> Table {
+    let mut t = Table::new(
+        "Section 3.2: SRAM storage requirements (512KB 8-way L2, 40-bit PA)",
+        "organisation",
+        vec!["total KB".into(), "overhead %".into()],
+    );
+    for (line, label) in [(64usize, "64B lines"), (128, "128B lines")] {
+        let geom = Geometry::new(512 * 1024, line, 8).unwrap();
+        let m = StorageModel::new(geom);
+        let conv = m.conventional_bytes() as f64 / 1024.0;
+        t.push_row(format!("conventional ({label})"), vec![conv, 0.0]);
+        for (tags, name) in [
+            (TagMode::Full, "full tags"),
+            (TagMode::PartialLow { bits: 8 }, "8-bit tags"),
+        ] {
+            let cfg = AdaptiveConfig::paper_full_tags().shadow_tag_mode(tags);
+            t.push_row(
+                format!("adaptive {name} ({label})"),
+                vec![
+                    m.adaptive_bytes(&cfg) as f64 / 1024.0,
+                    m.adaptive_overhead_pct(&cfg),
+                ],
+            );
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_numbers() {
+        let t = storage_table();
+        let conv = t.row("conventional (64B lines)").unwrap()[0];
+        assert_eq!(conv, 544.0);
+        let full = t.row("adaptive full tags (64B lines)").unwrap();
+        assert_eq!(full[0], 598.0);
+        let partial = t.row("adaptive 8-bit tags (64B lines)").unwrap();
+        assert_eq!(partial[0], 566.0);
+        assert!((partial[1] - 4.0).abs() < 0.1, "paper: +4.0%");
+        let wide = t.row("adaptive 8-bit tags (128B lines)").unwrap();
+        assert!((wide[1] - 2.1).abs() < 0.15, "paper: 2.1%");
+    }
+}

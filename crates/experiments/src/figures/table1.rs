@@ -1,0 +1,72 @@
+//! Table 1: the simulated processor configuration.
+
+use cpu_model::CpuConfig;
+
+/// Renders Table 1 as readable text.
+pub fn table1_config() -> String {
+    let c = CpuConfig::paper_default();
+    format!(
+        "Table 1. Simulated processor configuration\n\
+         ------------------------------------------\n\
+         Instruction Cache   {}KB, {}B line-size, {}-way LRU, {} cycles\n\
+         Data Cache          {}KB, {}B line-size, {}-way LRU, {} cycles\n\
+         Branch Predictor    16KB gshare / 16KB bimodal / 16KB meta; 4K-entry, 4-way BTB\n\
+         Decode/Issue        {}-wide; {} RS entries, {} ROB entries\n\
+         Execution units     {} Integer ALUs, {} Integer Mult/Div, {} FP ALUs, {} FP Mult/Div, {} Memory ports\n\
+         Unit latencies      IALU ({}), IMULT/IDIV ({}), FPADD ({}), FPDIV ({})\n\
+         Unified L2 Cache    {}KB, {}B line-size, {}-way, pluggable replacement\n\
+                             (adaptive LRU/LFU: history m = 8, 5-bit LFU counters),\n\
+                             {} cycle hit latency, {}-entry store buffer\n\
+         Memory              {} cycle latency (Table 1 prints \"12\"; see CpuConfig docs)\n\
+         Bus                 {}B-wide split-transaction bus; processor:bus ratio {}:1\n",
+        c.l1i.size_bytes / 1024,
+        c.l1i.line_bytes,
+        c.l1i.associativity,
+        c.l1i.hit_latency,
+        c.l1d.size_bytes / 1024,
+        c.l1d.line_bytes,
+        c.l1d.associativity,
+        c.l1d.hit_latency,
+        c.width,
+        c.rs_entries,
+        c.rob_entries,
+        c.int_alu_units,
+        c.int_mul_units,
+        c.fp_alu_units,
+        c.fp_div_units,
+        c.mem_ports,
+        c.lat_int_alu,
+        c.lat_int_mul,
+        c.lat_fp_add,
+        c.lat_fp_div,
+        c.l2.size_bytes / 1024,
+        c.l2.line_bytes,
+        c.l2.associativity,
+        c.l2.hit_latency,
+        c.store_buffer_entries,
+        c.mem_latency,
+        c.bus_bytes,
+        c.bus_ratio,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_key_parameters() {
+        let t = table1_config();
+        for needle in [
+            "512KB",
+            "8-way",
+            "64 ROB",
+            "32 RS",
+            "15 cycle",
+            "4-entry store buffer",
+            "gshare",
+        ] {
+            assert!(t.contains(needle), "missing {needle} in table 1");
+        }
+    }
+}

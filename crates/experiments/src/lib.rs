@@ -1,0 +1,27 @@
+//! # experiments — regenerating the paper's evaluation
+//!
+//! One module per table/figure of the paper's Section 4, all built on a
+//! shared [`runner`]: a benchmark (from [`workloads`]) is driven through
+//! the memory hierarchy with a chosen L2 organisation ([`L2Kind`]), either
+//! *functionally* (miss rates only — Figures 3, 5, 8 and the extended-set
+//! stability numbers) or through the full timing pipeline (CPI — Figures
+//! 4, 6, 9, 10).
+//!
+//! Every experiment returns [`report::Table`]s that print in the same
+//! layout the paper reports, and can be serialised to CSV/JSON artefacts
+//! under `results/`.
+//!
+//! The figure regeneration binaries live in the `bench` crate
+//! (`cargo run --release -p bench --bin fig03_mpki`, ...).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod multicore;
+pub mod report;
+pub mod runner;
+
+pub use report::Table;
+pub use runner::{default_insts, run_functional_l2, run_timed, L2Kind, PAPER_L2};

@@ -1,0 +1,207 @@
+//! Tabular reporting: aligned text for the terminal, CSV and JSON
+//! artefacts for `results/`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple numeric table: one label per row, one series per column —
+/// the shape of every figure in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"Figure 3: L2 MPKI"`).
+    pub title: String,
+    /// Label of the row-key column (e.g. `"benchmark"`).
+    pub row_key: String,
+    /// Column (series) names.
+    pub columns: Vec<String>,
+    /// Rows: `(label, one value per column)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        row_key: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            row_key: row_key.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// Appends a row of per-column arithmetic means over the existing rows
+    /// (the paper reports arithmetic means of MPKI/CPI so that the average
+    /// is proportional to total cost — see its footnote 7).
+    pub fn push_average(&mut self) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let n = self.rows.len() as f64;
+        let means: Vec<f64> = (0..self.columns.len())
+            .map(|c| self.rows.iter().map(|(_, v)| v[c]).sum::<f64>() / n)
+            .collect();
+        self.rows.push(("Average".to_string(), means));
+    }
+
+    /// The values of the row labelled `label`, if present.
+    pub fn row(&self, label: &str) -> Option<&[f64]> {
+        self.rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// The column index of `name`, if present.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.row_key);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(label);
+            for v in values {
+                out.push(',');
+                out.push_str(&format!("{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as both `<stem>.csv` and `<stem>.json` under
+    /// `dir`, creating the directory if needed.
+    pub fn write_artifacts(&self, dir: &Path, stem: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut csv = std::fs::File::create(dir.join(format!("{stem}.csv")))?;
+        csv.write_all(self.to_csv().as_bytes())?;
+        let json = serde_json::to_string_pretty(self).expect("table serialises");
+        std::fs::write(dir.join(format!("{stem}.json")), json)?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([self.row_key.len()])
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(10)
+            .max(10);
+        write!(f, "{:label_w$}", self.row_key)?;
+        for c in &self.columns {
+            write!(f, "  {c:>col_w$}")?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(label_w + (col_w + 2) * self.columns.len()))?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:label_w$}")?;
+            for v in values {
+                write!(f, "  {v:>col_w$.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X", "bench", vec!["LRU".into(), "LFU".into()]);
+        t.push_row("art", vec![10.0, 4.0]);
+        t.push_row("lucas", vec![2.0, 8.0]);
+        t
+    }
+
+    #[test]
+    fn average_row() {
+        let mut t = sample();
+        t.push_average();
+        assert_eq!(t.row("Average").unwrap(), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = sample();
+        assert_eq!(t.row("art").unwrap(), &[10.0, 4.0]);
+        assert_eq!(t.column("LFU"), Some(1));
+        assert_eq!(t.column("nope"), None);
+        assert!(t.row("nope").is_none());
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "bench,LRU,LFU");
+        assert!(lines[1].starts_with("art,10.0"));
+    }
+
+    #[test]
+    fn display_contains_everything() {
+        let text = sample().to_string();
+        for needle in ["Fig X", "LRU", "LFU", "art", "lucas"] {
+            assert!(text.contains(needle), "missing {needle} in\n{text}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = sample();
+        t.push_row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn artifacts_round_trip() {
+        let dir = std::env::temp_dir().join("ac_report_test");
+        let t = sample();
+        t.write_artifacts(&dir, "fig_x").unwrap();
+        let json = std::fs::read_to_string(dir.join("fig_x.json")).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,224 @@
+//! The shared experiment runner: (benchmark x L2 organisation) → metrics.
+
+use adaptive_cache::{
+    AdaptiveCache, AdaptiveConfig, DipCache, DipConfig, MultiAdaptiveCache, MultiConfig,
+    SbarCache, SbarConfig,
+};
+use cache_sim::{Cache, CacheModel, Geometry, PolicyKind};
+use cpu_model::{run_functional, CpuConfig, FunctionalStats, Hierarchy, Pipeline, RunStats};
+use serde::{Deserialize, Serialize};
+use workloads::Benchmark;
+
+/// The paper's L2 geometry: 512 KB, 64 B lines, 8-way.
+pub const PAPER_L2: (usize, usize, usize) = (512 * 1024, 64, 8);
+
+/// Seed used for every cache organisation, so that runs are reproducible
+/// and policy comparisons share randomness.
+const CACHE_SEED: u64 = 0x0C0FFEE;
+
+/// Default instruction budget per (benchmark, configuration) run.
+///
+/// Overridable via the `AC_INSTS` environment variable; the paper uses
+/// 100M-instruction SimPoints, which the synthetic workloads do not need —
+/// their behaviour is stationary (or deliberately phased) by construction.
+pub fn default_insts() -> u64 {
+    std::env::var("AC_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000)
+}
+
+/// An L2 organisation under test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum L2Kind {
+    /// Conventional single-policy cache.
+    Plain(PolicyKind),
+    /// The paper's two-policy adaptive cache.
+    Adaptive(AdaptiveConfig),
+    /// The SBAR-like set-sampling variant.
+    Sbar(SbarConfig),
+    /// Generalised N-policy adaptivity.
+    Multi(MultiConfig),
+    /// DIP set dueling (related-work comparison).
+    Dip(DipConfig),
+}
+
+impl L2Kind {
+    /// The three organisations of the paper's headline figures:
+    /// Adaptive(LRU/LFU, full tags), LFU, LRU.
+    pub fn headline_trio() -> [L2Kind; 3] {
+        [
+            L2Kind::Adaptive(AdaptiveConfig::paper_full_tags()),
+            L2Kind::Plain(PolicyKind::LFU5),
+            L2Kind::Plain(PolicyKind::Lru),
+        ]
+    }
+
+    /// Builds the cache model for `geom`.
+    pub fn build(&self, geom: Geometry) -> Box<dyn CacheModel> {
+        match self {
+            L2Kind::Plain(policy) => Box::new(Cache::new(geom, *policy, CACHE_SEED)),
+            L2Kind::Adaptive(cfg) => Box::new(AdaptiveCache::new(geom, *cfg, CACHE_SEED)),
+            L2Kind::Sbar(cfg) => Box::new(SbarCache::new(geom, *cfg, CACHE_SEED)),
+            L2Kind::Multi(cfg) => Box::new(MultiAdaptiveCache::new(geom, cfg.clone(), CACHE_SEED)),
+            L2Kind::Dip(cfg) => Box::new(DipCache::new(geom, *cfg, CACHE_SEED)),
+        }
+    }
+
+    /// Short label for report columns.
+    pub fn label(&self) -> String {
+        match self {
+            L2Kind::Plain(p) => p.to_string(),
+            L2Kind::Adaptive(cfg) => format!(
+                "Adaptive({}/{}, {:?})",
+                cache_sim::ReplacementPolicy::name(&cfg.policy_a),
+                cache_sim::ReplacementPolicy::name(&cfg.policy_b),
+                cfg.shadow_tags
+            ),
+            L2Kind::Sbar(_) => "SBAR".to_string(),
+            L2Kind::Multi(cfg) => format!("Adaptive(x{})", cfg.policies.len()),
+            L2Kind::Dip(_) => "DIP".to_string(),
+        }
+    }
+}
+
+/// Result of one functional (miss-rate) run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MpkiResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// L2 label.
+    pub l2: String,
+    /// Functional statistics.
+    pub stats: FunctionalStats,
+}
+
+/// Runs `bench` functionally (no timing) against an L2 of geometry
+/// `(size, line, assoc)` and the given organisation.
+pub fn run_functional_l2(
+    bench: &Benchmark,
+    kind: &L2Kind,
+    l2_geom: (usize, usize, usize),
+    insts: u64,
+) -> MpkiResult {
+    let geom = Geometry::new(l2_geom.0, l2_geom.1, l2_geom.2).expect("bad L2 geometry");
+    let l2 = kind.build(geom);
+    let config = CpuConfig::paper_default();
+    let mut hierarchy = Hierarchy::new(&config, l2);
+    let stats = run_functional(&mut hierarchy, bench.spec.generator(), insts);
+    MpkiResult {
+        benchmark: bench.name.to_string(),
+        l2: kind.label(),
+        stats,
+    }
+}
+
+/// Runs `bench` through the full timing pipeline.
+pub fn run_timed(bench: &Benchmark, kind: &L2Kind, config: CpuConfig, insts: u64) -> RunStats {
+    let geom = Geometry::new(
+        config.l2.size_bytes,
+        config.l2.line_bytes,
+        config.l2.associativity,
+    )
+    .expect("bad L2 geometry");
+    run_timed_with_geom(bench, kind, config, geom, insts)
+}
+
+/// Runs `bench` through the timing pipeline with an explicit L2 geometry
+/// (Figure 6's 9-way/10-way caches keep 1024 sets, so their geometry
+/// cannot be derived from a total size).
+pub fn run_timed_with_geom(
+    bench: &Benchmark,
+    kind: &L2Kind,
+    config: CpuConfig,
+    geom: Geometry,
+    insts: u64,
+) -> RunStats {
+    let l2 = kind.build(geom);
+    let mut pipe = Pipeline::new(config, l2);
+    pipe.run(bench.spec.generator(), insts)
+}
+
+/// Maps `f` over `items` on worker threads (order-preserving).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let f = &f;
+    // Hand out (index, result slot) pairs through a shared work queue.
+    let slots: Vec<_> = results.iter_mut().enumerate().collect();
+    let queue = std::sync::Mutex::new(slots.into_iter());
+    let queue = &queue;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let item = { queue.lock().unwrap().next() };
+                match item {
+                    Some((i, slot)) => *slot = Some(f(&items[i])),
+                    None => break,
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("worker died")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::primary_suite;
+
+    #[test]
+    fn functional_run_produces_misses() {
+        let b = &primary_suite()[1]; // applu: guaranteed L2-hostile scan
+        let r = run_functional_l2(b, &L2Kind::Plain(PolicyKind::Lru), PAPER_L2, 100_000);
+        assert!(r.stats.l2_mpki() > 1.0, "applu must exceed 1 MPKI, got {}", r.stats.l2_mpki());
+    }
+
+    #[test]
+    fn timed_run_produces_cpi() {
+        let b = &primary_suite()[1];
+        let s = run_timed(
+            b,
+            &L2Kind::Plain(PolicyKind::Lru),
+            CpuConfig::paper_default(),
+            50_000,
+        );
+        assert!(s.cpi() > 0.2, "cpi = {}", s.cpi());
+    }
+
+    #[test]
+    fn adaptive_l2_builds_and_runs() {
+        let b = &primary_suite()[2]; // art-1
+        let r = run_functional_l2(
+            b,
+            &L2Kind::Adaptive(AdaptiveConfig::paper_default()),
+            PAPER_L2,
+            100_000,
+        );
+        assert!(r.stats.l2_misses > 0);
+        assert!(r.l2.contains("Adaptive"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn headline_trio_labels() {
+        let trio = L2Kind::headline_trio();
+        assert!(trio[0].label().contains("Adaptive"));
+        assert_eq!(trio[1].label(), "LFU");
+        assert_eq!(trio[2].label(), "LRU");
+    }
+}

@@ -1,0 +1,363 @@
+//! Trace recording and replay.
+//!
+//! The paper's evaluation consumed SimPoint-sampled execution traces; our
+//! synthetic generators are pure functions of their spec, but downstream
+//! users often want to (a) capture a stream once and replay it against
+//! many configurations bit-identically, or (b) import externally captured
+//! traces. This module provides a compact binary format plus a
+//! line-oriented text format for interchange.
+//!
+//! Binary layout (little-endian): the magic `ACTR` + format version,
+//! then one record per instruction:
+//!
+//! ```text
+//! u8 kind | u8 dep1 | u8 dep2 | u8 flags | u64 pc | (u64 addr/target)?
+//! ```
+//!
+//! Memory and branch instructions carry the extra word; plain compute
+//! records are 12 bytes.
+
+use crate::inst::{Inst, InstKind};
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+const MAGIC: &[u8; 4] = b"ACTR";
+const VERSION: u8 = 1;
+
+const K_INT_ALU: u8 = 0;
+const K_INT_MUL: u8 = 1;
+const K_INT_DIV: u8 = 2;
+const K_FP_ADD: u8 = 3;
+const K_FP_DIV: u8 = 4;
+const K_LOAD: u8 = 5;
+const K_STORE: u8 = 6;
+const K_BRANCH: u8 = 7;
+
+/// Flag bit: branch taken.
+const F_TAKEN: u8 = 1;
+
+/// Errors raised while reading a trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing/incorrect magic bytes or unsupported version.
+    BadHeader,
+    /// Record with an unknown kind byte.
+    BadKind(u8),
+    /// Malformed text-format line.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content.
+        text: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadHeader => write!(f, "not an ACTR trace (bad magic or version)"),
+            TraceError::BadKind(k) => write!(f, "unknown instruction kind byte {k}"),
+            TraceError::BadLine { line, text } => {
+                write!(f, "malformed trace line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes instructions in the binary trace format.
+pub fn write_binary<W: Write, I: IntoIterator<Item = Inst>>(
+    mut w: W,
+    insts: I,
+) -> Result<u64, TraceError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    let mut n = 0u64;
+    for inst in insts {
+        let (kind, flags, extra) = match inst.kind {
+            InstKind::IntAlu => (K_INT_ALU, 0, None),
+            InstKind::IntMul => (K_INT_MUL, 0, None),
+            InstKind::IntDiv => (K_INT_DIV, 0, None),
+            InstKind::FpAdd => (K_FP_ADD, 0, None),
+            InstKind::FpDiv => (K_FP_DIV, 0, None),
+            InstKind::Load { addr } => (K_LOAD, 0, Some(addr)),
+            InstKind::Store { addr } => (K_STORE, 0, Some(addr)),
+            InstKind::Branch { taken, target } => {
+                (K_BRANCH, if taken { F_TAKEN } else { 0 }, Some(target))
+            }
+        };
+        w.write_all(&[kind, inst.deps[0], inst.deps[1], flags])?;
+        w.write_all(&inst.pc.to_le_bytes())?;
+        if let Some(x) = extra {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Reads a complete binary trace.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceError> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    if &header[..4] != MAGIC || header[4] != VERSION {
+        return Err(TraceError::BadHeader);
+    }
+    let mut out = Vec::new();
+    let mut head = [0u8; 12];
+    loop {
+        match r.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let (kind, d1, d2, flags) = (head[0], head[1], head[2], head[3]);
+        let pc = u64::from_le_bytes(head[4..12].try_into().expect("slice of 8"));
+        let read_extra = |r: &mut R| -> Result<u64, TraceError> {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            Ok(u64::from_le_bytes(b))
+        };
+        let kind = match kind {
+            K_INT_ALU => InstKind::IntAlu,
+            K_INT_MUL => InstKind::IntMul,
+            K_INT_DIV => InstKind::IntDiv,
+            K_FP_ADD => InstKind::FpAdd,
+            K_FP_DIV => InstKind::FpDiv,
+            K_LOAD => InstKind::Load {
+                addr: read_extra(&mut r)?,
+            },
+            K_STORE => InstKind::Store {
+                addr: read_extra(&mut r)?,
+            },
+            K_BRANCH => InstKind::Branch {
+                taken: flags & F_TAKEN != 0,
+                target: read_extra(&mut r)?,
+            },
+            other => return Err(TraceError::BadKind(other)),
+        };
+        out.push(Inst {
+            pc,
+            kind,
+            deps: [d1, d2],
+        });
+    }
+    Ok(out)
+}
+
+/// Writes instructions in the human-readable text format, one per line:
+/// `pc kind [operand] deps=d1,d2`.
+pub fn write_text<W: Write, I: IntoIterator<Item = Inst>>(
+    mut w: W,
+    insts: I,
+) -> Result<u64, TraceError> {
+    let mut n = 0u64;
+    for inst in insts {
+        match inst.kind {
+            InstKind::Load { addr } => {
+                writeln!(w, "{:#x} ld {:#x} deps={},{}", inst.pc, addr, inst.deps[0], inst.deps[1])?
+            }
+            InstKind::Store { addr } => {
+                writeln!(w, "{:#x} st {:#x} deps={},{}", inst.pc, addr, inst.deps[0], inst.deps[1])?
+            }
+            InstKind::Branch { taken, target } => writeln!(
+                w,
+                "{:#x} br {:#x} {} deps={},{}",
+                inst.pc,
+                target,
+                if taken { "t" } else { "n" },
+                inst.deps[0],
+                inst.deps[1]
+            )?,
+            other => writeln!(
+                w,
+                "{:#x} {} deps={},{}",
+                inst.pc,
+                other.mnemonic(),
+                inst.deps[0],
+                inst.deps[1]
+            )?,
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Reads a text-format trace.
+pub fn read_text<R: BufRead>(r: R) -> Result<Vec<Inst>, TraceError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let bad = || TraceError::BadLine {
+            line: i + 1,
+            text: text.to_string(),
+        };
+        let mut parts = text.split_whitespace();
+        let pc = parse_u64(parts.next().ok_or_else(bad)?).ok_or_else(bad)?;
+        let mnemonic = parts.next().ok_or_else(bad)?;
+        let mut rest: Vec<&str> = parts.collect();
+        let deps = match rest.last().and_then(|s| s.strip_prefix("deps=")) {
+            Some(d) => {
+                rest.pop();
+                let (a, b) = d.split_once(',').ok_or_else(bad)?;
+                [a.parse().map_err(|_| bad())?, b.parse().map_err(|_| bad())?]
+            }
+            None => [0, 0],
+        };
+        let kind = match mnemonic {
+            "alu" => InstKind::IntAlu,
+            "mul" => InstKind::IntMul,
+            "div" => InstKind::IntDiv,
+            "fadd" => InstKind::FpAdd,
+            "fdiv" => InstKind::FpDiv,
+            "ld" => InstKind::Load {
+                addr: rest.first().and_then(|s| parse_u64(s)).ok_or_else(bad)?,
+            },
+            "st" => InstKind::Store {
+                addr: rest.first().and_then(|s| parse_u64(s)).ok_or_else(bad)?,
+            },
+            "br" => InstKind::Branch {
+                target: rest.first().and_then(|s| parse_u64(s)).ok_or_else(bad)?,
+                taken: match rest.get(1) {
+                    Some(&"t") => true,
+                    Some(&"n") => false,
+                    _ => return Err(bad()),
+                },
+            },
+            _ => return Err(bad()),
+        };
+        out.push(Inst { pc, kind, deps });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primary_suite;
+
+    fn sample_trace(n: usize) -> Vec<Inst> {
+        primary_suite()[0].spec.generator().take(n).collect()
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let trace = sample_trace(5000);
+        let mut buf = Vec::new();
+        let written = write_binary(&mut buf, trace.iter().copied()).unwrap();
+        assert_eq!(written, 5000);
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let trace = sample_trace(2000);
+        let mut buf = Vec::new();
+        write_text(&mut buf, trace.iter().copied()).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn text_format_is_readable() {
+        let trace = vec![
+            Inst::free(0x400000, InstKind::Load { addr: 0x1000 }),
+            Inst::free(0x400004, InstKind::Branch {
+                taken: true,
+                target: 0x400000,
+            }),
+        ];
+        let mut buf = Vec::new();
+        write_text(&mut buf, trace).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("0x400000 ld 0x1000"));
+        assert!(text.contains("br 0x400000 t"));
+    }
+
+    #[test]
+    fn text_ignores_comments_and_blanks() {
+        let src = "# a comment\n\n0x10 alu deps=1,0\n";
+        let trace = read_text(src.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].pc, 0x10);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_binary(&b"NOPE\x01"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::BadHeader), "{err}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let err = read_binary(&b"ACTR\x63"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::BadHeader));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"ACTR\x01");
+        buf.extend_from_slice(&[200, 0, 0, 0]); // bogus kind
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::BadKind(200)), "{err}");
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = read_text("0x10 alu deps=1,0\nwhat is this\n".as_bytes()).unwrap_err();
+        match err {
+            TraceError::BadLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn binary_is_compact() {
+        let trace = sample_trace(10_000);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, trace.iter().copied()).unwrap();
+        // <= 20 bytes per record plus the 5-byte header.
+        assert!(buf.len() <= 5 + 20 * trace.len());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = TraceError::BadKind(9);
+        assert!(e.to_string().contains('9'));
+        let io_err = TraceError::from(io::Error::other("x"));
+        assert!(std::error::Error::source(&io_err).is_some());
+    }
+}

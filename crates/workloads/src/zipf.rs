@@ -1,0 +1,128 @@
+//! A Zipf-distributed sampler over `0..n`.
+//!
+//! Used by the hot/cold archetypes: media and graphics codes touch a small
+//! popular region very often and a long tail rarely, which is exactly the
+//! behaviour frequency-based replacement exploits.
+
+use rand::Rng;
+
+/// Samples ranks from a Zipf distribution with exponent `s` over `n`
+/// items, by inversion of a precomputed CDF (exact, O(log n) per sample).
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use workloads::Zipf;
+///
+/// let z = Zipf::new(1000, 1.0);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut first = 0u32;
+/// for _ in 0..10_000 {
+///     if z.sample(&mut rng) == 0 {
+///         first += 1;
+///     }
+/// }
+/// // Rank 0 receives ~1/H(1000) ~ 13% of samples.
+/// assert!(first > 800, "rank 0 sampled {first} times");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or `s` is negative/NaN.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler covers zero items (never true — see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_in_range() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn popularity_is_monotone() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 20];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[1] > counts[10]);
+        assert!(counts[2] > counts[19]);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = [0u32; 4];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 25_000.0).abs() < 1500.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(!z.is_empty());
+        assert_eq!(z.len(), 1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Custom policy: implement your own [`ReplacementPolicy`] and let the
+//! adaptive cache combine it with a standard one — demonstrating the
+//! paper's claim that the scheme works over *any* two algorithms.
+//!
+//! The custom policy here is a small SRRIP-style re-reference predictor:
+//! blocks are inserted with a "distant" prediction and promoted on hits;
+//! victims are the most distant blocks. It behaves scan-resistantly,
+//! somewhere between LRU and LFU.
+//!
+//! Run with: `cargo run --release --example custom_policy`
+
+use adaptive_caches::prelude::*;
+use adaptive_cache::HistoryKind;
+use cache_sim::{BlockAddr, Cache, SetMeta};
+
+/// 2-bit Static Re-Reference Interval Prediction (Jaleel et al.-style).
+#[derive(Debug, Clone, Copy)]
+struct Srrip {
+    max_rrpv: u64,
+}
+
+impl Srrip {
+    fn new() -> Self {
+        Srrip { max_rrpv: 3 }
+    }
+}
+
+impl ReplacementPolicy for Srrip {
+    fn name(&self) -> &'static str {
+        "SRRIP"
+    }
+
+    fn metadata_bits(&self, _ways: usize) -> u32 {
+        2
+    }
+
+    fn on_hit(&self, set: &mut SetMeta, way: usize) {
+        set.set_word(way, 0); // promote to "near-immediate re-reference"
+    }
+
+    fn on_fill(&self, set: &mut SetMeta, way: usize) {
+        set.set_word(way, self.max_rrpv - 1); // insert as "long interval"
+    }
+
+    fn victim(&self, set: &SetMeta, _rng: &mut dyn rand::RngCore) -> usize {
+        // Evict a block predicted to be re-referenced furthest in the
+        // future. (Hardware SRRIP ages all blocks until one reaches the
+        // maximum RRPV; picking the numerically largest RRPV makes the
+        // same choice without mutating state inside `victim`.)
+        if let Some((way, _)) = set.iter().find(|&(_, w)| w >= self.max_rrpv) {
+            return way;
+        }
+        set.iter()
+            .max_by_key(|&(_, w)| w)
+            .map(|(i, _)| i)
+            .expect("non-empty set")
+    }
+}
+
+fn main() {
+    let geom = Geometry::new(256 * 1024, 64, 8).expect("valid geometry");
+
+    // Adapt between plain LRU and the custom SRRIP policy.
+    let mut adaptive = AdaptiveCache::with_custom_policies(
+        geom,
+        PolicyKind::Lru,
+        Srrip::new(),
+        TagMode::PartialLow { bits: 8 },
+        HistoryKind::paper_default(),
+        7,
+    );
+    let mut lru = Cache::new(geom, PolicyKind::Lru, 7);
+    let mut srrip = Cache::new(geom, Srrip::new(), 7);
+
+    // A scan-heavy stream with an embedded hot set: SRRIP's distant
+    // insertion resists the scan; LRU does not.
+    let mut access = |b: u64| {
+        let block = BlockAddr::new(b);
+        adaptive.access(block, false);
+        lru.access(block, false);
+        srrip.access(block, false);
+    };
+    for i in 0..2_000_000u64 {
+        if i % 4 < 2 {
+            access((i / 4) % 2048); // hot set, revisited
+        } else {
+            access(10_000 + (i / 4) % 50_000); // long scan
+        }
+    }
+
+    println!("{:40} misses {:>9}", adaptive.label(), adaptive.stats().misses);
+    println!("{:40} misses {:>9}", lru.label(), lru.stats().misses);
+    println!("{:40} misses {:>9}", srrip.label(), srrip.stats().misses);
+
+    let best = lru.stats().misses.min(srrip.stats().misses);
+    let ratio = adaptive.stats().misses as f64 / best as f64;
+    println!(
+        "\nadaptive / best-component miss ratio: {ratio:.3} \
+         (the paper guarantees <= 2.0 + cold-start)"
+    );
+}

@@ -1,0 +1,29 @@
+//! Phase map: visualise, Figure-7 style, which component policy each
+//! cache set's replacement decisions imitate over time.
+//!
+//! Usage:
+//!   cargo run --release --example phase_map -- [benchmark] [insts]
+//!   cargo run --release --example phase_map -- mgrid 3000000
+//!
+//! `#` marks LRU-majority quanta (the paper's dark dots), `.` marks
+//! LFU-majority (white), spaces had no replacement activity.
+
+use experiments::figures::fig07_phase_map;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("ammp");
+    let insts: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+
+    let map = fig07_phase_map(name, insts, 100_000, 32);
+    println!(
+        "{name}: replacement choice per set group over time \
+         (bottom = set 0, left = start, quantum = {} cycles)\n",
+        map.quantum_cycles
+    );
+    print!("{}", map.ascii());
+    println!("\nlegend: '#' LRU-majority   '.' LFU-majority   ' ' idle");
+}

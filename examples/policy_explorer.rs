@@ -1,0 +1,85 @@
+//! Policy explorer: run any benchmark of the suite against every standard
+//! replacement policy, the adaptive combinations and SBAR, and print an
+//! MPKI/CPI scoreboard.
+//!
+//! Usage:
+//!   cargo run --release --example policy_explorer -- [benchmark] [insts]
+//!   cargo run --release --example policy_explorer -- art-1 2000000
+//!
+//! Without arguments it explores `art-1` at 1M instructions. Use
+//! `--list` to see all 100 benchmark names.
+
+use adaptive_caches::prelude::*;
+use adaptive_cache::{MultiConfig, SbarConfig};
+use experiments::{run_functional_l2, run_timed, L2Kind, PAPER_L2};
+use workloads::extended_suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--list") {
+        for b in extended_suite() {
+            println!("{:16} ({:?})", b.name, b.suite);
+        }
+        return;
+    }
+    let name = args.first().map(String::as_str).unwrap_or("art-1").to_string();
+    let insts: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let suite = extended_suite();
+    let bench = suite
+        .iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark '{name}' — try --list");
+            std::process::exit(1);
+        });
+
+    let kinds: Vec<(String, L2Kind)> = PolicyKind::all()
+        .iter()
+        .map(|&p| (p.to_string(), L2Kind::Plain(p)))
+        .chain([
+            (
+                "Adaptive LRU/LFU (full)".to_string(),
+                L2Kind::Adaptive(AdaptiveConfig::paper_full_tags()),
+            ),
+            (
+                "Adaptive LRU/LFU (8-bit)".to_string(),
+                L2Kind::Adaptive(AdaptiveConfig::paper_default()),
+            ),
+            (
+                "Adaptive FIFO/MRU".to_string(),
+                L2Kind::Adaptive(AdaptiveConfig::with_policies(
+                    PolicyKind::Fifo,
+                    PolicyKind::Mru,
+                )),
+            ),
+            (
+                "Adaptive x5".to_string(),
+                L2Kind::Multi(MultiConfig::paper_five_policy()),
+            ),
+            ("SBAR".to_string(), L2Kind::Sbar(SbarConfig::paper_default())),
+        ])
+        .collect();
+
+    println!("benchmark {name} ({insts} instructions), 512KB 8-way L2\n");
+    println!("{:26} {:>10} {:>8}", "organisation", "L2 MPKI", "CPI");
+    println!("{}", "-".repeat(48));
+    let config = CpuConfig::paper_default();
+    let mut best: Option<(f64, String)> = None;
+    for (label, kind) in &kinds {
+        let mpki = run_functional_l2(bench, kind, PAPER_L2, insts)
+            .stats
+            .l2_mpki();
+        let cpi = run_timed(bench, kind, config, insts).cpi();
+        println!("{label:26} {mpki:>10.3} {cpi:>8.3}");
+        if best.as_ref().map(|(c, _)| cpi < *c).unwrap_or(true) {
+            best = Some((cpi, label.clone()));
+        }
+    }
+    if let Some((cpi, label)) = best {
+        println!("\nbest CPI: {label} at {cpi:.3}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Trace record/replay: capture a benchmark's instruction stream to a
+//! file once, then replay it bit-identically against several cache
+//! organisations — the workflow the paper's SimPoint traces supported.
+//!
+//! Usage:
+//!   cargo run --release --example trace_replay -- [benchmark] [insts]
+//!
+//! Writes `<benchmark>.actr` (binary) into a temp directory, replays it
+//! against LRU / LFU / adaptive L2s, and verifies that replaying equals
+//! regenerating.
+
+use adaptive_caches::prelude::*;
+use cache_sim::Cache;
+use cpu_model::{run_functional, Hierarchy};
+use workloads::{extended_suite, trace_io};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("twolf");
+    let insts: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let suite = extended_suite();
+    let bench = suite
+        .iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark '{name}'");
+            std::process::exit(1);
+        });
+
+    // 1. Record.
+    let path = std::env::temp_dir().join(format!("{name}.actr"));
+    let trace: Vec<Inst> = bench.spec.generator().take(insts).collect();
+    let file = std::fs::File::create(&path).expect("create trace file");
+    let written =
+        trace_io::write_binary(std::io::BufWriter::new(file), trace.iter().copied())
+            .expect("write trace");
+    let bytes = std::fs::metadata(&path).expect("stat").len();
+    println!(
+        "recorded {written} instructions of {name} to {} ({:.1} MB, {:.1} B/inst)",
+        path.display(),
+        bytes as f64 / 1e6,
+        bytes as f64 / written as f64
+    );
+
+    // 2. Replay against three L2 organisations.
+    let config = CpuConfig::paper_default();
+    let geom = Geometry::new(512 * 1024, 64, 8).unwrap();
+    println!("\n{:28} {:>12}", "organisation", "L2 misses");
+    for label in ["LRU", "LFU", "Adaptive"] {
+        let replayed = {
+            let file = std::fs::File::open(&path).expect("open trace");
+            trace_io::read_binary(std::io::BufReader::new(file)).expect("read trace")
+        };
+        let misses = match label {
+            "LRU" => {
+                let mut h = Hierarchy::new(&config, Cache::new(geom, PolicyKind::Lru, 7));
+                run_functional(&mut h, replayed.into_iter(), written).l2_misses
+            }
+            "LFU" => {
+                let mut h = Hierarchy::new(&config, Cache::new(geom, PolicyKind::LFU5, 7));
+                run_functional(&mut h, replayed.into_iter(), written).l2_misses
+            }
+            _ => {
+                let l2 = AdaptiveCache::new(geom, AdaptiveConfig::paper_full_tags(), 7);
+                let mut h = Hierarchy::new(&config, l2);
+                run_functional(&mut h, replayed.into_iter(), written).l2_misses
+            }
+        };
+        println!("{label:28} {misses:>12}");
+    }
+
+    // 3. Replay == regenerate, bit for bit.
+    let file = std::fs::File::open(&path).expect("open trace");
+    let replayed = trace_io::read_binary(std::io::BufReader::new(file)).expect("read");
+    assert_eq!(replayed, trace, "replay diverged from the generator");
+    println!("\nreplay is bit-identical to regeneration ✓");
+    let _ = std::fs::remove_file(&path);
+}

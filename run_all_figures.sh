@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper's evaluation, plus the
+# extension experiments (ablations, future-work). Output also lands as
+# CSV/JSON under results/.
+set -e
+cd "$(dirname "$0")"
+BINS="table1_config table_storage fig03_mpki fig04_cpi fig05_partial_tags \
+      fig06_vs_bigger fig07_phase_maps fig08_fifo_mru fig09_associativity \
+      fig10_store_buffer headline sec44_five_policy sec46_l1 sec47_sbar"
+EXT="ablation_history ablation_lfu ablation_sbar ablation_xor_tags \
+     multicore prefetch_adaptivity related_dip synthesis"
+for bin in $BINS ${RUN_EXTENSIONS:+$EXT}; do
+    echo "=== $bin ==="
+    cargo run --release -q -p bench --bin "$bin"
+    echo
+done
+echo "done. Set RUN_EXTENSIONS=1 to include ablations and future-work runs."

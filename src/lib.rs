@@ -1,0 +1,57 @@
+//! # adaptive-caches
+//!
+//! A full reproduction of **"Adaptive Caches: Effective Shaping of Cache
+//! Behavior to Workloads"** (Subramanian, Smaragdakis & Loh, MICRO 2006)
+//! as a Rust workspace. This facade crate re-exports the workspace members
+//! so applications can depend on one crate:
+//!
+//! * [`cache_sim`] — the set-associative cache simulation substrate
+//!   (geometries, tag arrays, the five standard replacement policies,
+//!   partial tags),
+//! * [`adaptive_cache`] — the paper's contribution: adaptive replacement
+//!   over any two (or N) component policies, the SBAR set-sampling variant
+//!   and the storage-overhead model,
+//! * [`workloads`] — deterministic synthetic benchmark suite standing in
+//!   for the paper's 100-program evaluation set,
+//! * [`cpu_model`] — a cycle-level out-of-order CPU timing model with the
+//!   paper's Table 1 configuration, and
+//! * [`experiments`] — runners that regenerate every table and figure of
+//!   the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use adaptive_caches::prelude::*;
+//!
+//! // The paper's L2: 512 KB, 8-way, 64 B lines, adapting LRU/LFU with
+//! // 8-bit partial shadow tags and an m = 8 miss-history buffer.
+//! let config = AdaptiveConfig::paper_default();
+//! let geom = Geometry::new(512 * 1024, 64, 8).unwrap();
+//! let mut cache = AdaptiveCache::new(geom, config, 1234);
+//!
+//! for i in 0..100_000u64 {
+//!     // A 375 KB working set: fits the L2, so reuse hits after warm-up.
+//!     let addr = Address::new((i % 6_000) * 64);
+//!     cache.access(geom.block_of(addr), false);
+//! }
+//! assert!(cache.stats().hits > 0);
+//! ```
+
+pub use adaptive_cache;
+pub use cache_sim;
+pub use cpu_model;
+pub use experiments;
+pub use workloads;
+
+/// Commonly used items from across the workspace.
+pub mod prelude {
+    pub use adaptive_cache::{
+        AdaptiveCache, AdaptiveConfig, HistoryKind, MultiAdaptiveCache, SbarCache, SbarConfig,
+    };
+    pub use cache_sim::{
+        Address, BlockAddr, Cache, CacheModel, CacheStats, Geometry, PolicyKind,
+        ReplacementPolicy, TagMode,
+    };
+    pub use cpu_model::{CpuConfig, Pipeline};
+    pub use workloads::{Benchmark, Inst, InstKind};
+}

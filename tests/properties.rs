@@ -1,0 +1,211 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! paper's invariants.
+
+use adaptive_cache::theory::check_two_x_bound;
+use adaptive_cache::{AdaptiveCache, AdaptiveConfig, HistoryKind, MissHistory};
+use cache_sim::{Address, BlockAddr, Cache, CacheModel, Geometry, PolicyKind, TagArray, TagMode};
+use proptest::prelude::*;
+
+/// Strategy: a short block-address trace with tunable footprint.
+fn trace(max_block: u64, len: usize) -> impl Strategy<Value = Vec<BlockAddr>> {
+    proptest::collection::vec((0..max_block).prop_map(BlockAddr::new), 1..=len)
+}
+
+/// Strategy: one of the deterministic standard policies.
+fn deterministic_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Lru),
+        Just(PolicyKind::LFU5),
+        Just(PolicyKind::Fifo),
+        Just(PolicyKind::Mru),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The paper's theorem: with counter history and full tags, adaptive
+    /// misses are bounded by twice the better component's misses plus a
+    /// cold-start constant — for ANY trace and any policy pair.
+    #[test]
+    fn two_x_miss_bound_holds(
+        trace in trace(600, 4000),
+        a in deterministic_policy(),
+        b in deterministic_policy(),
+    ) {
+        let geom = Geometry::new(8 * 1024, 64, 4).unwrap();
+        let report = check_two_x_bound(geom, a, b, &trace);
+        prop_assert!(
+            report.holds,
+            "bound violated for {a:?}/{b:?}: {report:?}"
+        );
+    }
+
+    /// Accounting invariant: hits + misses == accesses, evictions never
+    /// exceed misses, writebacks never exceed evictions.
+    #[test]
+    fn stats_are_consistent(
+        trace in trace(2000, 3000),
+        writes in proptest::collection::vec(any::<bool>(), 3000),
+    ) {
+        let geom = Geometry::new(16 * 1024, 64, 8).unwrap();
+        let mut cache = Cache::new(geom, PolicyKind::Lru, 1);
+        for (block, write) in trace.iter().zip(writes.iter()) {
+            cache.access(*block, *write);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(s.evictions <= s.misses);
+        prop_assert!(s.writebacks <= s.evictions);
+        prop_assert_eq!(s.read_misses + s.write_misses, s.misses);
+    }
+
+    /// A freshly accessed block is always resident (full tags), for every
+    /// policy.
+    #[test]
+    fn accessed_block_is_resident(
+        trace in trace(5000, 2000),
+        policy in deterministic_policy(),
+    ) {
+        let geom = Geometry::new(16 * 1024, 64, 8).unwrap();
+        let mut tags = TagArray::new(geom, TagMode::Full, policy, 9);
+        for &block in &trace {
+            tags.access(block);
+            prop_assert!(tags.contains_block(block));
+        }
+    }
+
+    /// Partial tags answer membership with false *positives* only at the
+    /// moment of access: a just-accessed block is always reported present
+    /// (its own partial tag matches itself), and when the working set
+    /// fits in one set without evictions, partial membership is a
+    /// superset of full membership.
+    #[test]
+    fn partial_tags_err_towards_presence(
+        trace in trace(100_000, 1500),
+        bits in 4u32..12,
+    ) {
+        let geom = Geometry::new(8 * 1024, 64, 4).unwrap();
+        let mut partial = TagArray::new(
+            geom,
+            TagMode::PartialLow { bits },
+            PolicyKind::Fifo,
+            2,
+        );
+        for &block in &trace {
+            partial.access(block);
+            prop_assert!(partial.contains_block(block));
+        }
+        let s = partial.stats();
+        prop_assert_eq!(s.accesses(), trace.len() as u64);
+
+        // Eviction-free regime: every full-resident block is also
+        // partial-resident (aliasing only adds apparent members).
+        let mut full_small = TagArray::new(geom, TagMode::Full, PolicyKind::Fifo, 2);
+        let mut partial_small =
+            TagArray::new(geom, TagMode::PartialLow { bits }, PolicyKind::Fifo, 2);
+        let assoc = geom.associativity() as u64;
+        for i in 0..assoc {
+            // `i * num_sets` all map to set 0; fewer blocks than ways.
+            let b = BlockAddr::new(i * geom.num_sets() as u64);
+            full_small.access(b);
+            partial_small.access(b);
+        }
+        for i in 0..assoc {
+            let b = BlockAddr::new(i * geom.num_sets() as u64);
+            if full_small.contains_block(b) {
+                prop_assert!(partial_small.contains_block(b));
+            }
+        }
+    }
+
+    /// Adapting between two identical deterministic policies is exactly
+    /// the plain cache (Algorithm 1 degenerates to the component).
+    #[test]
+    fn adaptive_over_equal_policies_is_identity(
+        trace in trace(1200, 4000),
+        policy in prop_oneof![Just(PolicyKind::Lru), Just(PolicyKind::Fifo)],
+    ) {
+        let geom = Geometry::new(8 * 1024, 64, 4).unwrap();
+        let cfg = AdaptiveConfig::with_policies(policy, policy);
+        let mut adaptive = AdaptiveCache::new(geom, cfg, 3);
+        let mut plain = Cache::new(geom, policy, 3);
+        for &block in &trace {
+            let a = adaptive.access(block, false);
+            let p = plain.access(block, false);
+            prop_assert_eq!(a.hit, p.hit);
+        }
+    }
+
+    /// The bit-vector history never reports more window misses than its
+    /// capacity and its winner matches a recount of the recorded events.
+    #[test]
+    fn history_window_is_bounded_and_consistent(
+        events in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..200),
+        m in 1u32..=64,
+    ) {
+        let mut h = MissHistory::new(HistoryKind::BitVector { m });
+        let mut recorded: Vec<bool> = Vec::new(); // true = A missed
+        for &(a, b) in &events {
+            h.record(a, b);
+            if a != b {
+                recorded.push(a);
+            }
+        }
+        let window: Vec<bool> = recorded
+            .iter()
+            .rev()
+            .take(m as usize)
+            .copied()
+            .collect();
+        let a_misses = window.iter().filter(|&&x| x).count() as u64;
+        let b_misses = window.len() as u64 - a_misses;
+        prop_assert_eq!(h.window_misses(), (a_misses, b_misses));
+    }
+
+    /// Geometry decompose/recompose is the identity for any address.
+    #[test]
+    fn geometry_roundtrip(
+        raw in any::<u64>(),
+        line_pow in 4u32..9,
+        assoc in 1usize..=16,
+        sets_pow in 0u32..12,
+    ) {
+        let line = 1usize << line_pow;
+        let sets = 1usize << sets_pow;
+        let geom = Geometry::with_sets(sets, line, assoc).unwrap();
+        let block = geom.block_of(Address::new(raw));
+        let rebuilt = geom.block_from_parts(geom.tag(block), geom.set_index(block));
+        prop_assert_eq!(rebuilt, block);
+    }
+
+    /// Caches never hold more distinct blocks than their capacity: after
+    /// any trace, the number of still-resident trace blocks is bounded.
+    #[test]
+    fn residency_is_capacity_bounded(trace in trace(4000, 3000)) {
+        let geom = Geometry::new(8 * 1024, 64, 4).unwrap(); // 128 blocks
+        let mut cache = Cache::new(geom, PolicyKind::LFU5, 4);
+        for &block in &trace {
+            cache.access(block, false);
+        }
+        let resident = (0..4000u64)
+            .filter(|&b| cache.contains_block(BlockAddr::new(b)))
+            .count();
+        prop_assert!(resident <= 128, "{resident} blocks resident in a 128-block cache");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Workload generators are pure functions of their spec (determinism
+    /// survives arbitrary instruction counts).
+    #[test]
+    fn generators_are_deterministic(which in 0usize..26, n in 1usize..3000) {
+        let suite = workloads::primary_suite();
+        let b = &suite[which];
+        let a: Vec<_> = b.spec.generator().take(n).collect();
+        let c: Vec<_> = b.spec.generator().take(n).collect();
+        prop_assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,73 @@
+//! Serde round-trips for every serialisable configuration type: the
+//! experiment artefacts under `results/` must be loss-free.
+
+use adaptive_cache::{AdaptiveConfig, HistoryKind, SbarConfig};
+use cache_sim::{Geometry, PolicyKind, TagMode};
+use cpu_model::CpuConfig;
+use experiments::Table;
+use workloads::{extended_suite, Benchmark};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialise");
+    serde_json::from_str(&json).expect("deserialise")
+}
+
+#[test]
+fn adaptive_config_roundtrips() {
+    for cfg in [
+        AdaptiveConfig::paper_default(),
+        AdaptiveConfig::paper_full_tags(),
+        AdaptiveConfig::with_policies(PolicyKind::Fifo, PolicyKind::Mru)
+            .shadow_tag_mode(TagMode::PartialXor { bits: 6 })
+            .history_kind(HistoryKind::Saturating { bits: 4 }),
+    ] {
+        assert_eq!(roundtrip(&cfg), cfg);
+    }
+}
+
+#[test]
+fn sbar_config_roundtrips() {
+    let cfg = SbarConfig::paper_partial_tags();
+    assert_eq!(roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn cpu_config_roundtrips() {
+    let cfg = CpuConfig::paper_default().store_buffer(32);
+    assert_eq!(roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn geometry_roundtrips() {
+    for g in [
+        Geometry::new(512 * 1024, 64, 8).unwrap(),
+        Geometry::with_sets(1024, 64, 9).unwrap(),
+        Geometry::with_sets(3, 128, 2).unwrap(),
+    ] {
+        assert_eq!(roundtrip(&g), g);
+    }
+}
+
+#[test]
+fn every_benchmark_spec_roundtrips() {
+    for b in extended_suite() {
+        let json = serde_json::to_string(&b).expect("serialise benchmark");
+        let back: Benchmark = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, b, "{} spec does not round-trip", b.name);
+        // A deserialised spec must generate the identical stream.
+        let a: Vec<_> = b.spec.generator().take(200).collect();
+        let c: Vec<_> = back.spec.generator().take(200).collect();
+        assert_eq!(a, c, "{} stream diverges after round-trip", b.name);
+    }
+}
+
+#[test]
+fn tables_roundtrip() {
+    let mut t = Table::new("title", "k", vec!["a".into(), "b".into()]);
+    t.push_row("r1", vec![1.5, -2.0]);
+    t.push_average();
+    assert_eq!(roundtrip(&t), t);
+}

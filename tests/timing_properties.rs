@@ -1,0 +1,83 @@
+//! Property-based tests of the timing model: physical sanity constraints
+//! that must hold for every workload and configuration.
+
+use cpu_model::{CpuConfig, Pipeline};
+use proptest::prelude::*;
+use workloads::primary_suite;
+
+fn config_variants() -> impl Strategy<Value = CpuConfig> {
+    (1u32..=4, prop_oneof![Just(60u32), Just(120), Just(300)], 1u32..=64).prop_map(
+        |(mshr_pow, mem_latency, sb)| {
+            let mut c = CpuConfig::paper_default().store_buffer(sb);
+            c.mshrs = 1 << mshr_pow;
+            c.mem_latency = mem_latency;
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// CPI can never beat the machine width, and cycle counts are
+    /// monotone in the instruction count.
+    #[test]
+    fn cpi_is_physical(which in 0usize..26, config in config_variants()) {
+        let b = &primary_suite()[which];
+        let mut pipe = Pipeline::with_lru_l2(config);
+        let short = pipe.run(b.spec.generator(), 10_000);
+        prop_assert!(short.cpi() >= 1.0 / f64::from(config.width) - 1e-9);
+
+        let mut pipe2 = Pipeline::with_lru_l2(config);
+        let long = pipe2.run(b.spec.generator(), 20_000);
+        prop_assert!(long.cycles >= short.cycles, "more work cannot take fewer cycles");
+    }
+
+    /// Raising the memory latency never lowers the cycle count.
+    #[test]
+    fn memory_latency_is_monotone(which in 0usize..26) {
+        let b = &primary_suite()[which];
+        let mut fast_cfg = CpuConfig::paper_default();
+        fast_cfg.mem_latency = 60;
+        let mut slow_cfg = CpuConfig::paper_default();
+        slow_cfg.mem_latency = 400;
+        let fast = Pipeline::with_lru_l2(fast_cfg).run(b.spec.generator(), 15_000);
+        let slow = Pipeline::with_lru_l2(slow_cfg).run(b.spec.generator(), 15_000);
+        prop_assert!(
+            slow.cycles >= fast.cycles,
+            "{}: slow memory {} < fast memory {}",
+            b.name, slow.cycles, fast.cycles
+        );
+    }
+
+    /// Widening every window (MSHRs, store buffer) never hurts.
+    #[test]
+    fn more_resources_never_hurt(which in 0usize..26) {
+        let b = &primary_suite()[which];
+        let mut small_cfg = CpuConfig::paper_default().store_buffer(1).writeback_buffer(1);
+        small_cfg.mshrs = 1;
+        let mut big_cfg = CpuConfig::paper_default().store_buffer(128).writeback_buffer(64);
+        big_cfg.mshrs = 32;
+        let small = Pipeline::with_lru_l2(small_cfg).run(b.spec.generator(), 15_000);
+        let big = Pipeline::with_lru_l2(big_cfg).run(b.spec.generator(), 15_000);
+        prop_assert!(
+            big.cycles <= small.cycles,
+            "{}: bigger machine slower ({} vs {})",
+            b.name, big.cycles, small.cycles
+        );
+    }
+
+    /// The memory system never serves an instruction stream with zero
+    /// cycles, and stats stay internally consistent.
+    #[test]
+    fn run_stats_consistency(which in 0usize..26, n in 1_000u64..20_000) {
+        let b = &primary_suite()[which];
+        let mut pipe = Pipeline::with_lru_l2(CpuConfig::paper_default());
+        let s = pipe.run(b.spec.generator(), n);
+        prop_assert_eq!(s.instructions, n);
+        prop_assert!(s.cycles > 0);
+        prop_assert_eq!(s.l2.hits + s.l2.misses, s.l2.accesses);
+        prop_assert_eq!(s.l1d.hits + s.l1d.misses, s.l1d.accesses);
+        prop_assert!(s.branches.mispredictions <= s.branches.predictions);
+    }
+}
