@@ -4,19 +4,34 @@
 //!   cargo run --release -p bench --bin cachesim -- run.json
 //!   cargo run --release -p bench --bin cachesim -- --template > run.json
 //!
-//! The JSON file describes one run: a workload (a suite benchmark by
-//! name, an inline `WorkloadSpec`, or a recorded trace file), an L2
-//! organisation, the mode (functional or timed) and the instruction
-//! budget. Results are printed as JSON on stdout.
+//! The JSON file describes either **one run** — a workload (a suite
+//! benchmark by name, an inline `WorkloadSpec`, or a recorded trace
+//! file), an L2 organisation, the mode (functional or timed) and the
+//! instruction budget — or a **sweep**: `{"sweep": [<run>, ...]}`.
+//! Results are printed as JSON on stdout.
+//!
+//! Sweeps execute under the resilience supervisor: a panicking or wedged
+//! cell is isolated (one bounded retry, optional per-cell deadline) and
+//! every settled cell is checkpointed to
+//! `results/<name>.journal.jsonl`; re-running with `AC_RESUME=1` skips
+//! cells the journal proves complete.
+//!
+//! Exit codes: `0` all results produced, `2` sweep finished with partial
+//! results, `3` invalid input.
 
 use cache_sim::Geometry;
 use cpu_model::{run_functional, CpuConfig, Hierarchy, Pipeline};
+use experiments::resilience::{
+    self, ExperimentError, SupervisorConfig, EXIT_INVALID_INPUT, EXIT_PARTIAL,
+};
 use experiments::L2Kind;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::time::Duration;
 use workloads::{extended_suite, trace_io, Inst, WorkloadSpec};
 
 /// One simulation request.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct RunRequest {
     /// Benchmark name from the built-in suite (see
     /// `policy_explorer -- --list`). Mutually exclusive with `spec` and
@@ -40,7 +55,30 @@ struct RunRequest {
     cpu: CpuConfig,
 }
 
-#[derive(Debug, Serialize)]
+/// A batch of runs executed under the resilience supervisor.
+#[derive(Debug, Deserialize)]
+struct SweepRequest {
+    /// The cells of the sweep.
+    sweep: Vec<RunRequest>,
+    /// Journal stem: checkpoints land in `results/<name>.journal.jsonl`.
+    #[serde(default)]
+    name: Option<String>,
+    /// Optional per-cell deadline in seconds.
+    #[serde(default)]
+    deadline_secs: Option<f64>,
+    /// Retries after a failed/timed-out attempt (default 1).
+    #[serde(default)]
+    retries: Option<u32>,
+}
+
+#[derive(Debug, Deserialize)]
+#[serde(untagged)]
+enum Input {
+    Sweep(SweepRequest),
+    Single(Box<RunRequest>),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct RunReply {
     workload: String,
     l2: String,
@@ -48,9 +86,9 @@ struct RunReply {
     instructions: u64,
     l2_misses: u64,
     l2_mpki: f64,
-    #[serde(skip_serializing_if = "Option::is_none")]
+    #[serde(default, skip_serializing_if = "Option::is_none")]
     cycles: Option<u64>,
-    #[serde(skip_serializing_if = "Option::is_none")]
+    #[serde(default, skip_serializing_if = "Option::is_none")]
     cpi: Option<f64>,
 }
 
@@ -66,93 +104,240 @@ fn template() -> RunRequest {
     }
 }
 
-fn load_trace(req: &RunRequest) -> (String, Vec<Inst>) {
+/// Exactly one workload source must be set; names the offending fields
+/// otherwise.
+fn validate(req: &RunRequest) -> Result<(), ExperimentError> {
+    let set: Vec<&str> = [
+        ("benchmark", req.benchmark.is_some()),
+        ("spec", req.spec.is_some()),
+        ("trace_file", req.trace_file.is_some()),
+    ]
+    .iter()
+    .filter(|(_, s)| *s)
+    .map(|(n, _)| *n)
+    .collect();
+    match set.len() {
+        0 => Err(ExperimentError::InvalidInput(
+            "one of the fields `benchmark`, `spec`, `trace_file` is required".into(),
+        )),
+        1 => Ok(()),
+        _ => Err(ExperimentError::InvalidInput(format!(
+            "fields {} are mutually exclusive — set exactly one",
+            set.iter()
+                .map(|n| format!("`{n}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))),
+    }
+}
+
+fn load_trace(req: &RunRequest) -> Result<(String, Vec<Inst>), ExperimentError> {
+    validate(req)?;
     if let Some(name) = &req.benchmark {
         let suite = extended_suite();
-        let b = suite
-            .iter()
-            .find(|b| &b.name == name)
-            .unwrap_or_else(|| die(&format!("unknown benchmark {name}")));
-        (
+        let b = suite.iter().find(|b| &b.name == name).ok_or_else(|| {
+            ExperimentError::InvalidInput(format!(
+                "field `benchmark`: unknown benchmark {name:?} (try policy_explorer -- --list)"
+            ))
+        })?;
+        Ok((
             name.clone(),
             b.spec.generator().take(req.insts as usize).collect(),
-        )
+        ))
     } else if let Some(spec) = &req.spec {
-        (
+        Ok((
             "inline spec".to_string(),
             spec.generator().take(req.insts as usize).collect(),
-        )
+        ))
     } else if let Some(path) = &req.trace_file {
-        let file = std::fs::File::open(path)
-            .unwrap_or_else(|e| die(&format!("cannot open {path}: {e}")));
-        let trace = trace_io::read_binary(std::io::BufReader::new(file))
-            .unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")));
-        (path.clone(), trace)
+        let file = std::fs::File::open(path).map_err(|e| {
+            ExperimentError::InvalidInput(format!("field `trace_file`: cannot open {path}: {e}"))
+        })?;
+        let trace = trace_io::read_binary(std::io::BufReader::new(file)).map_err(|e| {
+            ExperimentError::Trace(format!("field `trace_file`: cannot parse {path}: {e}"))
+        })?;
+        Ok((path.clone(), trace))
     } else {
-        die("one of benchmark / spec / trace_file is required")
+        // validate() has already rejected this.
+        Err(ExperimentError::InvalidInput(
+            "one of the fields `benchmark`, `spec`, `trace_file` is required".into(),
+        ))
     }
 }
 
-fn die(msg: &str) -> ! {
-    eprintln!("cachesim: {msg}");
-    std::process::exit(1)
-}
-
-fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_default();
-    if arg == "--template" {
-        println!("{}", serde_json::to_string_pretty(&template()).unwrap());
-        return;
-    }
-    if arg.is_empty() || arg.starts_with("--") {
-        die("usage: cachesim <run.json> | cachesim --template");
-    }
-
-    let text = std::fs::read_to_string(&arg)
-        .unwrap_or_else(|e| die(&format!("cannot read {arg}: {e}")));
-    let req: RunRequest =
-        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("bad config: {e}")));
-
-    let (workload, trace) = load_trace(&req);
+/// Executes one request end to end.
+fn run_request(req: &RunRequest) -> Result<RunReply, ExperimentError> {
+    let (workload, trace) = load_trace(req)?;
     let geom = Geometry::new(
         req.cpu.l2.size_bytes,
         req.cpu.l2.line_bytes,
         req.cpu.l2.associativity,
     )
-    .unwrap_or_else(|e| die(&format!("bad L2 geometry: {e}")));
+    .map_err(|e| ExperimentError::InvalidInput(format!("field `cpu.l2`: bad geometry: {e}")))?;
     let l2 = req.l2.build(geom);
     let n = trace.len() as u64;
 
-    let reply = match req.mode.as_str() {
+    match req.mode.as_str() {
         "functional" => {
             let mut h = Hierarchy::new(&req.cpu, l2);
             let s = run_functional(&mut h, trace.into_iter(), n);
-            RunReply {
+            Ok(RunReply {
                 workload,
                 l2: req.l2.label(),
-                mode: req.mode,
+                mode: req.mode.clone(),
                 instructions: s.instructions,
                 l2_misses: s.l2_misses,
                 l2_mpki: s.l2_mpki(),
                 cycles: None,
                 cpi: None,
-            }
+            })
         }
         "timed" => {
             let mut pipe = Pipeline::new(req.cpu, l2);
             let s = pipe.run(trace.into_iter(), n);
-            RunReply {
+            Ok(RunReply {
                 workload,
                 l2: req.l2.label(),
-                mode: req.mode,
+                mode: req.mode.clone(),
                 instructions: s.instructions,
                 l2_misses: s.l2.misses,
                 l2_mpki: s.l2_mpki(),
                 cycles: Some(s.cycles),
                 cpi: Some(s.cpi()),
-            }
+            })
         }
-        other => die(&format!("unknown mode {other:?} (functional|timed)")),
+        other => Err(ExperimentError::InvalidInput(format!(
+            "field `mode`: unknown mode {other:?} (functional|timed)"
+        ))),
+    }
+}
+
+/// Prints an error and exits with the invalid-input code.
+fn die_invalid(msg: &str) -> ! {
+    eprintln!("cachesim: {msg}");
+    std::process::exit(EXIT_INVALID_INPUT)
+}
+
+fn to_json<T: Serialize>(value: &T) -> String {
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => s,
+        Err(e) => die_invalid(&format!("cannot serialise reply: {e}")),
+    }
+}
+
+/// Per-cell line of the sweep report printed on stdout.
+#[derive(Debug, Serialize)]
+struct CellReply {
+    key: String,
+    status: &'static str,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    result: Option<RunReply>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    error: Option<String>,
+}
+
+fn run_sweep_request(req: SweepRequest, config_path: &Path) -> i32 {
+    let stem = req.name.clone().unwrap_or_else(|| {
+        config_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "sweep".to_string())
+    });
+    let cfg = SupervisorConfig {
+        deadline: req.deadline_secs.map(Duration::from_secs_f64),
+        retries: req.retries.unwrap_or(1),
+        journal: Some(resilience::journal_path(Path::new("results"), &stem)),
+        resume: resilience::resume_from_env(),
+        threads: 0,
     };
-    println!("{}", serde_json::to_string_pretty(&reply).unwrap());
+    // Cell keys are the resume identity: the position plus the workload,
+    // L2 label, mode and instruction budget, so editing one cell of the
+    // config invalidates only that cell's checkpoint.
+    let indexed: Vec<(usize, RunRequest)> = req.sweep.into_iter().enumerate().collect();
+    let report = match resilience::run_sweep(
+        &indexed,
+        &cfg,
+        |(i, c)| {
+            let workload = c
+                .benchmark
+                .clone()
+                .or_else(|| c.trace_file.clone())
+                .unwrap_or_else(|| "spec".to_string());
+            format!("{i}:{workload}:{}:{}:{}", c.l2.label(), c.mode, c.insts)
+        },
+        |(_, c): (usize, RunRequest)| run_request(&c),
+    ) {
+        Ok(r) => r,
+        Err(e) => die_invalid(&format!("sweep setup failed: {e}")),
+    };
+
+    let lines: Vec<CellReply> = report
+        .cells
+        .iter()
+        .map(|c| {
+            let (status, result, error) = match &c.outcome {
+                resilience::CellOutcome::Done(r) => ("ok", Some(r.clone()), None),
+                resilience::CellOutcome::Resumed(r) => ("resumed", Some(r.clone()), None),
+                resilience::CellOutcome::Failed(e) => ("failed", None, Some(e.to_string())),
+                resilience::CellOutcome::TimedOut(d) => (
+                    "timed_out",
+                    None,
+                    Some(format!("exceeded {:.3}s deadline", d.as_secs_f64())),
+                ),
+            };
+            CellReply {
+                key: c.key.clone(),
+                status,
+                result,
+                error,
+            }
+        })
+        .collect();
+    println!("{}", to_json(&lines));
+    eprintln!("cachesim: {}", report.summary());
+    if let Some(path) = &cfg.journal {
+        eprintln!("cachesim: journal at {}", path.display());
+        if report.exit_code() == EXIT_PARTIAL {
+            eprintln!("cachesim: re-run with AC_RESUME=1 to retry only unfinished cells");
+        }
+    }
+    report.exit_code()
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg == "--template" {
+        println!("{}", to_json(&template()));
+        return;
+    }
+    if arg.is_empty() || arg.starts_with("--") {
+        die_invalid("usage: cachesim <run.json> | cachesim --template");
+    }
+
+    let text = match std::fs::read_to_string(&arg) {
+        Ok(t) => t,
+        Err(e) => die_invalid(&format!("cannot read {arg}: {e}")),
+    };
+    let input: Input = match serde_json::from_str(&text) {
+        Ok(i) => i,
+        Err(e) => die_invalid(&format!("bad config: {e}")),
+    };
+
+    match input {
+        Input::Single(req) => match run_request(&req) {
+            Ok(reply) => println!("{}", to_json(&reply)),
+            Err(e) => die_invalid(&e.to_string()),
+        },
+        Input::Sweep(sweep) => {
+            if sweep.sweep.is_empty() {
+                die_invalid("field `sweep`: must contain at least one run");
+            }
+            for (i, cell) in sweep.sweep.iter().enumerate() {
+                if let Err(e) = validate(cell) {
+                    die_invalid(&format!("sweep cell {i}: {e}"));
+                }
+            }
+            std::process::exit(run_sweep_request(sweep, Path::new(&arg)));
+        }
+    }
 }

@@ -29,7 +29,10 @@ fn main() {
         parallel_map(&suite, |b| {
             let row: Vec<f64> = kinds
                 .iter()
-                .map(|(_, k)| run_functional_l2(b, k, PAPER_L2, insts).stats.l2_mpki())
+                .map(|(_, k)| run_functional_l2(b, k, PAPER_L2, insts)
+                    .expect("paper geometry is valid")
+                    .stats
+                    .l2_mpki())
                 .collect();
             (b.name.clone(), row)
         })

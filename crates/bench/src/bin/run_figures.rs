@@ -1,0 +1,67 @@
+//! Regenerates every `Table`-producing figure in one supervised,
+//! resumable run.
+//!
+//! Unlike `run_all_figures.sh` (one process per figure, abort on first
+//! failure), this binary drives the figure registry through the
+//! resilience supervisor: a panicking figure is isolated and retried
+//! once, every completed figure is checkpointed (with its full table) to
+//! `results/all_figures.journal.jsonl`, and a killed run restarted with
+//! `AC_RESUME=1` re-emits finished figures from the journal instead of
+//! recomputing them.
+//!
+//! Usage: `cargo run --release -p bench --bin run_figures`
+//! (`AC_INSTS` sets the per-benchmark budget, `AC_RESUME=1` resumes).
+//!
+//! Exit codes: 0 all figures produced, 2 partial results.
+
+use bench::emit;
+use experiments::resilience::{self, SupervisorConfig};
+use experiments::{default_insts, figures, Table};
+use std::path::Path;
+
+fn main() {
+    let insts = default_insts();
+    let results = Path::new("results");
+    let cfg = SupervisorConfig::journalled(results, "all_figures");
+    let registry = figures::registry();
+
+    let report = match resilience::run_sweep(
+        &registry,
+        &cfg,
+        |(name, _)| (*name).to_string(),
+        move |(name, f): (&'static str, fn(u64) -> Table)| {
+            eprintln!("{name}: running ...");
+            let start = std::time::Instant::now();
+            let table = f(insts);
+            eprintln!("{name}: done in {:.1}s", start.elapsed().as_secs_f64());
+            Ok(table)
+        },
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run_figures: cannot start sweep: {e}");
+            std::process::exit(resilience::EXIT_INVALID_INPUT);
+        }
+    };
+
+    for cell in &report.cells {
+        match &cell.outcome {
+            resilience::CellOutcome::Done(t) | resilience::CellOutcome::Resumed(t) => {
+                emit(t, &cell.key);
+            }
+            resilience::CellOutcome::Failed(e) => {
+                eprintln!("run_figures: {} FAILED: {e}", cell.key)
+            }
+            resilience::CellOutcome::TimedOut(d) => eprintln!(
+                "run_figures: {} TIMED OUT after {:.1}s",
+                cell.key,
+                d.as_secs_f64()
+            ),
+        }
+    }
+    eprintln!("run_figures: {}", report.summary());
+    if !report.is_complete() {
+        eprintln!("run_figures: re-run with AC_RESUME=1 to retry only unfinished figures");
+    }
+    std::process::exit(report.exit_code());
+}

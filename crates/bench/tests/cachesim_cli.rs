@@ -1,0 +1,205 @@
+//! End-to-end tests of the `cachesim` binary: JSON in, JSON out, typed
+//! exit codes (0 = ok, 2 = partial sweep, 3 = invalid input), journal
+//! checkpointing and `AC_RESUME=1` resume — all through a real
+//! subprocess, the way a user drives it.
+
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cachesim")
+}
+
+/// A scratch working directory (the journal lands in `<cwd>/results/`).
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ac_cachesim_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run_in(dir: &Path, args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args(args).current_dir(dir).env_remove("AC_RESUME");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("cachesim did not start")
+}
+
+fn cell(bench: &str, l2: &str) -> String {
+    format!(r#"{{"benchmark":"{bench}","l2":{l2},"mode":"functional","insts":20000}}"#)
+}
+
+/// 3 benchmarks × 3 L2 organisations, with cell `poison`'s L2 wrapped in
+/// a panic-on-first-access fault injector.
+fn sweep_config(poison: Option<usize>) -> String {
+    let benches = ["ammp", "applu", "mcf"];
+    let l2s = [r#"{"Plain":"Lru"}"#, r#"{"Plain":"Fifo"}"#, r#"{"Plain":"Mru"}"#];
+    let mut cells = Vec::new();
+    for b in benches {
+        for l2 in l2s {
+            let i = cells.len();
+            let l2 = if poison == Some(i) {
+                format!(r#"{{"Faulty":{{"fault":{{"panic_at_access":1}},"inner":{l2}}}}}"#)
+            } else {
+                l2.to_string()
+            };
+            cells.push(cell(b, &l2));
+        }
+    }
+    format!(r#"{{"name":"accept","sweep":[{}]}}"#, cells.join(","))
+}
+
+fn statuses(stdout: &[u8]) -> Vec<String> {
+    let v: Value = serde_json::from_slice(stdout).expect("stdout is a JSON array");
+    v.as_array()
+        .expect("array of cell replies")
+        .iter()
+        .map(|c| c["status"].as_str().unwrap().to_string())
+        .collect()
+}
+
+fn count(statuses: &[String], s: &str) -> usize {
+    statuses.iter().filter(|x| x.as_str() == s).count()
+}
+
+#[test]
+fn template_emits_a_valid_single_run_config() {
+    let dir = tmp_dir("template");
+    let out = run_in(&dir, &["--template"], &[]);
+    assert!(out.status.success());
+    let v: Value = serde_json::from_slice(&out.stdout).expect("template is JSON");
+    assert!(v["benchmark"].is_string());
+    assert_eq!(v["mode"].as_str(), Some("timed"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn single_run_exits_zero_with_a_reply() {
+    let dir = tmp_dir("single");
+    let cfg = dir.join("run.json");
+    std::fs::write(&cfg, cell("mcf", r#"{"Plain":"Lru"}"#)).unwrap();
+    let out = run_in(&dir, &[cfg.to_str().unwrap()], &[]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["workload"].as_str(), Some("mcf"));
+    assert_eq!(v["instructions"].as_u64(), Some(20000));
+    assert!(v["l2_mpki"].as_f64().unwrap() >= 0.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poisoned_sweep_exits_partial_then_resumes_only_the_failed_cell() {
+    let dir = tmp_dir("sweep");
+    let cfg = dir.join("grid.json");
+    std::fs::write(&cfg, sweep_config(Some(4))).unwrap();
+
+    // Kill run: the poisoned cell fails, the 8 others complete, exit 2.
+    let out = run_in(&dir, &[cfg.to_str().unwrap()], &[]);
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    let st = statuses(&out.stdout);
+    assert_eq!(st.len(), 9);
+    assert_eq!(count(&st, "ok"), 8, "{st:?}");
+    assert_eq!(count(&st, "failed"), 1);
+    assert_eq!(st[4], "failed", "the poisoned cell is the one that fails");
+    let journal = dir.join("results/accept.journal.jsonl");
+    assert!(journal.exists(), "journal must be written");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("AC_RESUME=1"), "partial runs advertise resume: {stderr}");
+
+    // Fix the config (same keys for the healthy cells) and resume:
+    // the 8 journalled cells are skipped, only the fixed cell computes.
+    std::fs::write(&cfg, sweep_config(None)).unwrap();
+    let out = run_in(&dir, &[cfg.to_str().unwrap()], &[("AC_RESUME", "1")]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let st = statuses(&out.stdout);
+    assert_eq!(count(&st, "resumed"), 8, "{st:?}");
+    assert_eq!(count(&st, "ok"), 1);
+    assert_eq!(st[4], "ok", "only the previously failed cell recomputes");
+
+    // Journal now proves all nine complete; a third resume run computes
+    // nothing at all.
+    let out = run_in(&dir, &[cfg.to_str().unwrap()], &[("AC_RESUME", "1")]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(count(&statuses(&out.stdout), "resumed"), 9);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_workload_source_exits_invalid() {
+    let dir = tmp_dir("nosource");
+    let cfg = dir.join("bad.json");
+    std::fs::write(&cfg, r#"{"l2":{"Plain":"Lru"},"mode":"functional","insts":1000}"#).unwrap();
+    let out = run_in(&dir, &[cfg.to_str().unwrap()], &[]);
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("benchmark"), "error names the fields: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn conflicting_workload_sources_exit_invalid_naming_both_fields() {
+    let dir = tmp_dir("conflict");
+    let cfg = dir.join("bad.json");
+    std::fs::write(
+        &cfg,
+        r#"{"benchmark":"mcf","trace_file":"x.actr","l2":{"Plain":"Lru"},"mode":"functional","insts":1000}"#,
+    )
+    .unwrap();
+    let out = run_in(&dir, &[cfg.to_str().unwrap()], &[]);
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("`benchmark`") && stderr.contains("`trace_file`"),
+        "both offending fields are named: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_sweep_cell_is_rejected_before_anything_runs() {
+    let dir = tmp_dir("badcell");
+    let cfg = dir.join("bad.json");
+    // Second cell has no workload source: the whole sweep must be
+    // rejected up front (exit 3) and no journal written.
+    std::fs::write(
+        &cfg,
+        format!(
+            r#"{{"name":"bad","sweep":[{},{{"l2":{{"Plain":"Lru"}},"mode":"functional","insts":1000}}]}}"#,
+            cell("mcf", r#"{"Plain":"Lru"}"#)
+        ),
+    )
+    .unwrap();
+    let out = run_in(&dir, &[cfg.to_str().unwrap()], &[]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sweep cell 1"));
+    assert!(!dir.join("results/bad.journal.jsonl").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_mode_and_unknown_benchmark_exit_invalid() {
+    let dir = tmp_dir("badfields");
+    let cfg = dir.join("bad.json");
+    std::fs::write(&cfg, cell("mcf", r#"{"Plain":"Lru"}"#).replace("functional", "warp")).unwrap();
+    let out = run_in(&dir, &[cfg.to_str().unwrap()], &[]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("`mode`"));
+
+    std::fs::write(&cfg, cell("no-such-bench", r#"{"Plain":"Lru"}"#)).unwrap();
+    let out = run_in(&dir, &[cfg.to_str().unwrap()], &[]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no-such-bench"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_arguments_is_usage_error() {
+    let dir = tmp_dir("noargs");
+    let out = run_in(&dir, &[], &[]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -285,7 +285,7 @@ impl ReplacementPolicy for Bip {
     }
     fn on_fill(&self, set: &mut SetMeta, way: usize) {
         let t = set.bump_tick();
-        if t % Self::EPSILON == 0 {
+        if t.is_multiple_of(Self::EPSILON) {
             set.set_word(way, t); // occasional MRU insertion
         } else {
             // Insert at the LRU position: strictly below every other way.

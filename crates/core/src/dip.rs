@@ -198,7 +198,7 @@ impl CacheModel for DipCache {
         // Insertion policy: MRU (normal LRU), or LRU-position (BIP)
         // with a deterministic 1-in-epsilon MRU promotion.
         self.recency.on_fill(set, way);
-        if self.uses_bip(set) && self.fills % u64::from(self.config.bip_epsilon) != 0 {
+        if self.uses_bip(set) && !self.fills.is_multiple_of(u64::from(self.config.bip_epsilon)) {
             self.demote_to_lru(set, way);
         }
         if write {

@@ -15,7 +15,10 @@ use workloads::primary_suite;
 fn average_mpki(kind: &L2Kind, insts: u64) -> f64 {
     let suite = primary_suite();
     let v = parallel_map(&suite, |b| {
-        run_functional_l2(b, kind, PAPER_L2, insts).stats.l2_mpki()
+        run_functional_l2(b, kind, PAPER_L2, insts)
+            .expect("paper geometry is valid")
+            .stats
+            .l2_mpki()
     });
     v.iter().sum::<f64>() / v.len() as f64
 }

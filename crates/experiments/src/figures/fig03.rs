@@ -17,7 +17,7 @@ pub fn fig03_mpki(insts: u64) -> Table {
     let rows = parallel_map(&suite, |b| {
         let values: Vec<f64> = kinds
             .iter()
-            .map(|k| run_functional_l2(b, k, PAPER_L2, insts).stats.l2_mpki())
+            .map(|k| run_functional_l2(b, k, PAPER_L2, insts).expect("paper geometry is valid").stats.l2_mpki())
             .collect();
         (b.name.to_string(), values)
     });

@@ -43,8 +43,13 @@ pub fn fig05_partial_tags(insts: u64) -> Table {
         .map(|(_, mode)| {
             let kind = L2Kind::Adaptive(AdaptiveConfig::paper_full_tags().shadow_tag_mode(*mode));
             let results = parallel_map(&suite, |b| {
-                let mpki = run_functional_l2(b, &kind, PAPER_L2, insts).stats.l2_mpki();
-                let cpi = run_timed(b, &kind, CpuConfig::paper_default(), insts).cpi();
+                let mpki = run_functional_l2(b, &kind, PAPER_L2, insts)
+                    .expect("paper geometry is valid")
+                    .stats
+                    .l2_mpki();
+                let cpi = run_timed(b, &kind, CpuConfig::paper_default(), insts)
+                    .expect("paper geometry is valid")
+                    .cpi();
                 (mpki, cpi)
             });
             let n = results.len() as f64;

@@ -31,8 +31,8 @@ pub fn fig09_associativity(insts: u64) -> Table {
             L2Kind::Plain(PolicyKind::Lru),
         ];
         let results = parallel_map(&suite, |b| {
-            let a = run_timed(b, &kinds[0], config, insts);
-            let l = run_timed(b, &kinds[1], config, insts);
+            let a = run_timed(b, &kinds[0], config, insts).expect("paper geometry is valid");
+            let l = run_timed(b, &kinds[1], config, insts).expect("paper geometry is valid");
             (a.cpi(), l.cpi(), a.l2.misses as f64, l.l2.misses as f64)
         });
         let n = results.len() as f64;

@@ -39,8 +39,8 @@ pub fn fig10_store_buffer(insts: u64) -> Table {
         ];
         let results = parallel_map(&suite, |b| {
             (
-                run_timed(b, &kinds[0], config, insts).cpi(),
-                run_timed(b, &kinds[1], config, insts).cpi(),
+                run_timed(b, &kinds[0], config, insts).expect("paper geometry is valid").cpi(),
+                run_timed(b, &kinds[1], config, insts).expect("paper geometry is valid").cpi(),
             )
         });
         let n = results.len() as f64;

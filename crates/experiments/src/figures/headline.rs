@@ -34,10 +34,11 @@ pub fn headline(insts: u64) -> Table {
 
     for suite in [primary_suite(), extended_suite()] {
         let rows = parallel_map(&suite, |b| {
-            let am = run_functional_l2(b, &adaptive, PAPER_L2, insts).stats.l2_misses as f64;
-            let lm = run_functional_l2(b, &lru, PAPER_L2, insts).stats.l2_misses as f64;
-            let ac = run_timed(b, &adaptive, config, insts).cpi();
-            let lc = run_timed(b, &lru, config, insts).cpi();
+            let geom_ok = "paper geometry is valid";
+            let am = run_functional_l2(b, &adaptive, PAPER_L2, insts).expect(geom_ok).stats.l2_misses as f64;
+            let lm = run_functional_l2(b, &lru, PAPER_L2, insts).expect(geom_ok).stats.l2_misses as f64;
+            let ac = run_timed(b, &adaptive, config, insts).expect(geom_ok).cpi();
+            let lc = run_timed(b, &lru, config, insts).expect(geom_ok).cpi();
             (b.name.to_string(), am, lm, ac, lc)
         });
         let n = rows.len() as f64;

@@ -28,7 +28,7 @@ pub fn sec44_five_policy(insts: u64) -> Table {
     let rows = parallel_map(&suite, |b| {
         let values: Vec<f64> = kinds
             .iter()
-            .map(|k| run_timed(b, k, config, insts).cpi())
+            .map(|k| run_timed(b, k, config, insts).expect("paper geometry is valid").cpi())
             .collect();
         (b.name.to_string(), values)
     });

@@ -11,6 +11,12 @@
 //! layout the paper reports, and can be serialised to CSV/JSON artefacts
 //! under `results/`.
 //!
+//! Long sweeps run under the [`resilience`] supervisor: panics are
+//! isolated per cell, wedged cells time out, and completed cells are
+//! checkpointed to a journal so an interrupted sweep restarted with
+//! `AC_RESUME=1` skips finished work. The [`faultinject`] module provides
+//! deterministic fault wrappers for testing those degradation paths.
+//!
 //! The figure regeneration binaries live in the `bench` crate
 //! (`cargo run --release -p bench --bin fig03_mpki`, ...).
 
@@ -18,10 +24,19 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod faultinject;
 pub mod figures;
 pub mod multicore;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 
+pub use faultinject::{FaultSpec, FaultyCache, FaultyRead};
 pub use report::Table;
-pub use runner::{default_insts, run_functional_l2, run_timed, L2Kind, PAPER_L2};
+pub use resilience::{
+    run_sweep, CellOutcome, ExperimentError, SupervisorConfig, SweepReport, EXIT_INVALID_INPUT,
+    EXIT_OK, EXIT_PARTIAL,
+};
+pub use runner::{
+    default_insts, run_functional_l2, run_timed, try_parallel_map, L2Kind, PAPER_L2,
+};

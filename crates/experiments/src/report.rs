@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::io::Write as _;
+use std::io;
 use std::path::Path;
 
 /// A simple numeric table: one label per row, one series per column —
@@ -98,14 +98,30 @@ impl Table {
 
     /// Writes the table as both `<stem>.csv` and `<stem>.json` under
     /// `dir`, creating the directory if needed.
-    pub fn write_artifacts(&self, dir: &Path, stem: &str) -> std::io::Result<()> {
+    ///
+    /// Both files are written atomically (to `<name>.tmp`, then renamed),
+    /// so an interrupted run can never leave a truncated artifact that a
+    /// resumed run would trust.
+    pub fn write_artifacts(&self, dir: &Path, stem: &str) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let mut csv = std::fs::File::create(dir.join(format!("{stem}.csv")))?;
-        csv.write_all(self.to_csv().as_bytes())?;
-        let json = serde_json::to_string_pretty(self).expect("table serialises");
-        std::fs::write(dir.join(format!("{stem}.json")), json)?;
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        write_atomic(&dir.join(format!("{stem}.csv")), self.to_csv().as_bytes())?;
+        write_atomic(&dir.join(format!("{stem}.json")), json.as_bytes())?;
         Ok(())
     }
+}
+
+/// Writes `bytes` to `path` atomically: the contents land in
+/// `<path>.tmp` first and are renamed into place, so readers (and
+/// resumed runs) only ever observe either the old file or the complete
+/// new one — never a truncated intermediate.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 impl fmt::Display for Table {
@@ -202,6 +218,34 @@ mod tests {
         let json = std::fs::read_to_string(dir.join("fig_x.json")).unwrap();
         let back: Table = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifacts_leave_no_temp_files() {
+        let dir = std::env::temp_dir().join("ac_report_atomic_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        sample().write_artifacts(&dir, "fig_y").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.ends_with(".tmp")),
+            "temp files must be renamed away: {names:?}"
+        );
+        assert_eq!(names.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_replaces_existing_content() {
+        let dir = std::env::temp_dir().join("ac_write_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.json");
+        write_atomic(&path, b"old").unwrap();
+        write_atomic(&path, b"new content").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new content");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

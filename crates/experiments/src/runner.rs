@@ -1,5 +1,7 @@
 //! The shared experiment runner: (benchmark x L2 organisation) → metrics.
 
+use crate::faultinject::{FaultSpec, FaultyCache};
+use crate::resilience::ExperimentError;
 use adaptive_cache::{
     AdaptiveCache, AdaptiveConfig, DipCache, DipConfig, MultiAdaptiveCache, MultiConfig,
     SbarCache, SbarConfig,
@@ -41,6 +43,16 @@ pub enum L2Kind {
     Multi(MultiConfig),
     /// DIP set dueling (related-work comparison).
     Dip(DipConfig),
+    /// Any other organisation wrapped in a deterministic fault injector
+    /// (see [`crate::faultinject`]) — lets a sweep cell be made hostile
+    /// from pure configuration, for testing the supervisor's
+    /// degradation paths.
+    Faulty {
+        /// The fault plan.
+        fault: FaultSpec,
+        /// The wrapped organisation.
+        inner: Box<L2Kind>,
+    },
 }
 
 impl L2Kind {
@@ -62,6 +74,9 @@ impl L2Kind {
             L2Kind::Sbar(cfg) => Box::new(SbarCache::new(geom, *cfg, CACHE_SEED)),
             L2Kind::Multi(cfg) => Box::new(MultiAdaptiveCache::new(geom, cfg.clone(), CACHE_SEED)),
             L2Kind::Dip(cfg) => Box::new(DipCache::new(geom, *cfg, CACHE_SEED)),
+            L2Kind::Faulty { fault, inner } => {
+                Box::new(FaultyCache::new(inner.build(geom), *fault))
+            }
         }
     }
 
@@ -78,6 +93,7 @@ impl L2Kind {
             L2Kind::Sbar(_) => "SBAR".to_string(),
             L2Kind::Multi(cfg) => format!("Adaptive(x{})", cfg.policies.len()),
             L2Kind::Dip(_) => "DIP".to_string(),
+            L2Kind::Faulty { inner, .. } => format!("Faulty({})", inner.label()),
         }
     }
 }
@@ -95,33 +111,43 @@ pub struct MpkiResult {
 
 /// Runs `bench` functionally (no timing) against an L2 of geometry
 /// `(size, line, assoc)` and the given organisation.
+///
+/// Fails with [`ExperimentError::Geometry`] when the requested geometry is
+/// impossible (non-power-of-two sets, zero ways, ...).
 pub fn run_functional_l2(
     bench: &Benchmark,
     kind: &L2Kind,
     l2_geom: (usize, usize, usize),
     insts: u64,
-) -> MpkiResult {
-    let geom = Geometry::new(l2_geom.0, l2_geom.1, l2_geom.2).expect("bad L2 geometry");
+) -> Result<MpkiResult, ExperimentError> {
+    let geom = Geometry::new(l2_geom.0, l2_geom.1, l2_geom.2)?;
     let l2 = kind.build(geom);
     let config = CpuConfig::paper_default();
     let mut hierarchy = Hierarchy::new(&config, l2);
     let stats = run_functional(&mut hierarchy, bench.spec.generator(), insts);
-    MpkiResult {
+    Ok(MpkiResult {
         benchmark: bench.name.to_string(),
         l2: kind.label(),
         stats,
-    }
+    })
 }
 
 /// Runs `bench` through the full timing pipeline.
-pub fn run_timed(bench: &Benchmark, kind: &L2Kind, config: CpuConfig, insts: u64) -> RunStats {
+///
+/// Fails with [`ExperimentError::Geometry`] when `config.l2` describes an
+/// impossible geometry.
+pub fn run_timed(
+    bench: &Benchmark,
+    kind: &L2Kind,
+    config: CpuConfig,
+    insts: u64,
+) -> Result<RunStats, ExperimentError> {
     let geom = Geometry::new(
         config.l2.size_bytes,
         config.l2.line_bytes,
         config.l2.associativity,
-    )
-    .expect("bad L2 geometry");
-    run_timed_with_geom(bench, kind, config, geom, insts)
+    )?;
+    Ok(run_timed_with_geom(bench, kind, config, geom, insts))
 }
 
 /// Runs `bench` through the timing pipeline with an explicit L2 geometry
@@ -139,8 +165,11 @@ pub fn run_timed_with_geom(
     pipe.run(bench.spec.generator(), insts)
 }
 
-/// Maps `f` over `items` on worker threads (order-preserving).
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// Maps `f` over `items` on worker threads (order-preserving), catching
+/// unwinds per item: one panicking item yields an
+/// [`ExperimentError::Panic`] in its slot while every sibling still
+/// completes.
+pub fn try_parallel_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, ExperimentError>>
 where
     T: Sync,
     R: Send,
@@ -150,7 +179,8 @@ where
         .map(|n| n.get())
         .unwrap_or(4)
         .min(items.len().max(1));
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut results: Vec<Option<Result<R, ExperimentError>>> =
+        (0..items.len()).map(|_| None).collect();
     let f = &f;
     // Hand out (index, result slot) pairs through a shared work queue.
     let slots: Vec<_> = results.iter_mut().enumerate().collect();
@@ -159,15 +189,66 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(move || loop {
-                let item = { queue.lock().unwrap().next() };
+                // The queue lock is never held across `f`, and panics in
+                // `f` are caught below, so the mutex cannot be poisoned
+                // by a failing item; recover defensively anyway.
+                let item = { queue.lock().unwrap_or_else(|e| e.into_inner()).next() };
                 match item {
-                    Some((i, slot)) => *slot = Some(f(&items[i])),
+                    Some((i, slot)) => {
+                        let out =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i])));
+                        *slot = Some(out.map_err(|p| {
+                            ExperimentError::Panic(crate::resilience::panic_message(&*p))
+                        }));
+                    }
                     None => break,
                 }
             });
         }
     });
-    results.into_iter().map(|r| r.expect("worker died")).collect()
+    results
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                Err(ExperimentError::Panic(
+                    "worker exited without producing a result".into(),
+                ))
+            })
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` on worker threads (order-preserving).
+///
+/// # Panics
+///
+/// Propagates item failures as a single panic *after* every item has run
+/// (sibling items are never cancelled). Sweeps that must survive
+/// individual cell failures should use [`try_parallel_map`] or the
+/// supervisor in [`crate::resilience`].
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    let mut failures = Vec::new();
+    for (i, r) in try_parallel_map(items, f).into_iter().enumerate() {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => failures.push(format!("item {i}: {e}")),
+        }
+    }
+    if !failures.is_empty() {
+        panic!(
+            "parallel_map: {} of {} items failed: {}",
+            failures.len(),
+            items.len(),
+            failures.join("; ")
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -178,7 +259,7 @@ mod tests {
     #[test]
     fn functional_run_produces_misses() {
         let b = &primary_suite()[1]; // applu: guaranteed L2-hostile scan
-        let r = run_functional_l2(b, &L2Kind::Plain(PolicyKind::Lru), PAPER_L2, 100_000);
+        let r = run_functional_l2(b, &L2Kind::Plain(PolicyKind::Lru), PAPER_L2, 100_000).unwrap();
         assert!(r.stats.l2_mpki() > 1.0, "applu must exceed 1 MPKI, got {}", r.stats.l2_mpki());
     }
 
@@ -190,7 +271,8 @@ mod tests {
             &L2Kind::Plain(PolicyKind::Lru),
             CpuConfig::paper_default(),
             50_000,
-        );
+        )
+        .unwrap();
         assert!(s.cpi() > 0.2, "cpi = {}", s.cpi());
     }
 
@@ -202,9 +284,19 @@ mod tests {
             &L2Kind::Adaptive(AdaptiveConfig::paper_default()),
             PAPER_L2,
             100_000,
-        );
+        )
+        .unwrap();
         assert!(r.stats.l2_misses > 0);
         assert!(r.l2.contains("Adaptive"));
+    }
+
+    #[test]
+    fn bad_geometry_is_a_typed_error() {
+        let b = &primary_suite()[0];
+        let err =
+            run_functional_l2(b, &L2Kind::Plain(PolicyKind::Lru), (1000, 64, 7), 1_000)
+                .unwrap_err();
+        assert!(matches!(err, ExperimentError::Geometry(_)), "{err}");
     }
 
     #[test]
@@ -212,6 +304,58 @@ mod tests {
         let items: Vec<u64> = (0..50).collect();
         let out = parallel_map(&items, |&x| x * 2);
         assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_parallel_map_isolates_panics() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = try_parallel_map(&items, |&x| {
+            if x == 7 {
+                panic!("injected: item 7");
+            }
+            x + 1
+        });
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            if i == 7 {
+                assert!(matches!(r, Err(ExperimentError::Panic(m)) if m.contains("item 7")));
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &(i as u64 + 1), "sibling {i} must complete");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_panic_reports_failed_items() {
+        let items: Vec<u64> = (0..8).collect();
+        let err = std::panic::catch_unwind(|| {
+            parallel_map(&items, |&x| {
+                if x == 2 {
+                    panic!("kaboom");
+                }
+                x
+            })
+        })
+        .unwrap_err();
+        let msg = crate::resilience::panic_message(&*err);
+        assert!(msg.contains("1 of 8"), "{msg}");
+        assert!(msg.contains("kaboom"), "{msg}");
+    }
+
+    #[test]
+    fn faulty_l2_kind_builds_and_labels() {
+        let kind = L2Kind::Faulty {
+            fault: FaultSpec::flip_tags(0x1, 10),
+            inner: Box::new(L2Kind::Plain(PolicyKind::Lru)),
+        };
+        assert_eq!(kind.label(), "Faulty(LRU)");
+        let b = &primary_suite()[0];
+        let r = run_functional_l2(b, &kind, PAPER_L2, 20_000).unwrap();
+        assert!(r.l2.contains("Faulty"));
+        // Serialisable like every other organisation.
+        let json = serde_json::to_string(&kind).unwrap();
+        let back: L2Kind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, kind);
     }
 
     #[test]

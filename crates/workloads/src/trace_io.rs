@@ -7,8 +7,9 @@
 //! traces. This module provides a compact binary format plus a
 //! line-oriented text format for interchange.
 //!
-//! Binary layout (little-endian): the magic `ACTR` + format version,
-//! then one record per instruction:
+//! Binary layout (little-endian): the magic `ACTR` + format version +
+//! (since version 2) a `u64` record count, then one record per
+//! instruction:
 //!
 //! ```text
 //! u8 kind | u8 dep1 | u8 dep2 | u8 flags | u64 pc | (u64 addr/target)?
@@ -16,13 +17,24 @@
 //!
 //! Memory and branch instructions carry the extra word; plain compute
 //! records are 12 bytes.
+//!
+//! The reader treats input as hostile: the declared record count is
+//! validated against the actual input size before anything is
+//! pre-allocated (a corrupt header cannot trigger an OOM), version-1
+//! traces (no count) remain readable, and truncation mid-record is a
+//! typed [`TraceError::Truncated`] rather than a bare I/O error.
 
 use crate::inst::{Inst, InstKind};
 use std::fmt;
 use std::io::{self, BufRead, Read, Write};
 
 const MAGIC: &[u8; 4] = b"ACTR";
-const VERSION: u8 = 1;
+/// Current write version (header carries a record count).
+const VERSION: u8 = 2;
+/// Legacy version: records until EOF, no declared count.
+const VERSION_NO_COUNT: u8 = 1;
+/// Smallest possible record (compute instruction, no extra word).
+const MIN_RECORD_BYTES: u64 = 12;
 
 const K_INT_ALU: u8 = 0;
 const K_INT_MUL: u8 = 1;
@@ -46,6 +58,20 @@ pub enum TraceError {
     BadHeader,
     /// Record with an unknown kind byte.
     BadKind(u8),
+    /// The header declares more records than the input could possibly
+    /// hold — rejected before pre-allocating anything.
+    BadCount {
+        /// Record count claimed by the header.
+        declared: u64,
+        /// Upper bound on records the remaining bytes could encode.
+        max_possible: u64,
+    },
+    /// The input ended mid-record (or before the declared count was
+    /// reached).
+    Truncated {
+        /// Complete records successfully read before the cut.
+        records: u64,
+    },
     /// Malformed text-format line.
     BadLine {
         /// 1-based line number.
@@ -61,6 +87,17 @@ impl fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
             TraceError::BadHeader => write!(f, "not an ACTR trace (bad magic or version)"),
             TraceError::BadKind(k) => write!(f, "unknown instruction kind byte {k}"),
+            TraceError::BadCount {
+                declared,
+                max_possible,
+            } => write!(
+                f,
+                "header declares {declared} records but the input can hold \
+                 at most {max_possible} (corrupt or hostile header)"
+            ),
+            TraceError::Truncated { records } => {
+                write!(f, "trace truncated after {records} complete records")
+            }
             TraceError::BadLine { line, text } => {
                 write!(f, "malformed trace line {line}: {text:?}")
             }
@@ -83,13 +120,27 @@ impl From<io::Error> for TraceError {
     }
 }
 
-/// Writes instructions in the binary trace format.
+/// Writes instructions in the binary trace format (version 2: the header
+/// carries the record count, so readers can validate it up front).
 pub fn write_binary<W: Write, I: IntoIterator<Item = Inst>>(
     mut w: W,
     insts: I,
 ) -> Result<u64, TraceError> {
+    // The count precedes the records, so buffer the body first.
+    let mut body = Vec::new();
+    let n = write_records(&mut body, insts)?;
     w.write_all(MAGIC)?;
     w.write_all(&[VERSION])?;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(&body)?;
+    Ok(n)
+}
+
+/// Encodes records (no header) into `w`, returning how many were written.
+fn write_records<W: Write, I: IntoIterator<Item = Inst>>(
+    mut w: W,
+    insts: I,
+) -> Result<u64, TraceError> {
     let mut n = 0u64;
     for inst in insts {
         let (kind, flags, extra) = match inst.kind {
@@ -114,26 +165,79 @@ pub fn write_binary<W: Write, I: IntoIterator<Item = Inst>>(
     Ok(n)
 }
 
-/// Reads a complete binary trace.
+/// Reads a complete binary trace (current and legacy versions).
+///
+/// Version-2 headers declare a record count; it is validated against the
+/// actual remaining input size *before* pre-allocating, so a corrupt or
+/// hostile header yields [`TraceError::BadCount`] instead of an OOM/abort.
 pub fn read_binary<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceError> {
     let mut header = [0u8; 5];
     r.read_exact(&mut header)?;
-    if &header[..4] != MAGIC || header[4] != VERSION {
+    if &header[..4] != MAGIC {
         return Err(TraceError::BadHeader);
     }
-    let mut out = Vec::new();
-    let mut head = [0u8; 12];
-    loop {
-        match r.read_exact(&mut head) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e.into()),
+    match header[4] {
+        VERSION_NO_COUNT => {
+            // Legacy: no declared count, records until EOF; nothing to
+            // pre-allocate from, so growth is bounded by real input.
+            let mut body = Vec::new();
+            r.read_to_end(&mut body)?;
+            read_records(&body, None)
         }
+        VERSION => {
+            let mut count_bytes = [0u8; 8];
+            r.read_exact(&mut count_bytes)
+                .map_err(|_| TraceError::Truncated { records: 0 })?;
+            let declared = u64::from_le_bytes(count_bytes);
+            let mut body = Vec::new();
+            r.read_to_end(&mut body)?;
+            let max_possible = body.len() as u64 / MIN_RECORD_BYTES;
+            if declared > max_possible {
+                return Err(TraceError::BadCount {
+                    declared,
+                    max_possible,
+                });
+            }
+            let out = read_records(&body, Some(declared))?;
+            if (out.len() as u64) != declared {
+                return Err(TraceError::Truncated {
+                    records: out.len() as u64,
+                });
+            }
+            Ok(out)
+        }
+        _ => Err(TraceError::BadHeader),
+    }
+}
+
+/// Decodes records from `body`. With `expected`, capacity is reserved up
+/// front (the caller has already validated the count against
+/// `body.len()`) and reading stops after that many records; without it,
+/// records are read until the end of `body`.
+fn read_records(body: &[u8], expected: Option<u64>) -> Result<Vec<Inst>, TraceError> {
+    let mut out = match expected {
+        Some(n) => Vec::with_capacity(n as usize),
+        None => Vec::new(),
+    };
+    let mut at = 0usize;
+    while expected.map_or(at < body.len(), |n| (out.len() as u64) < n) {
+        let head = body.get(at..at + 12).ok_or(TraceError::Truncated {
+            records: out.len() as u64,
+        })?;
+        at += 12;
         let (kind, d1, d2, flags) = (head[0], head[1], head[2], head[3]);
-        let pc = u64::from_le_bytes(head[4..12].try_into().expect("slice of 8"));
-        let read_extra = |r: &mut R| -> Result<u64, TraceError> {
+        let mut pc_bytes = [0u8; 8];
+        pc_bytes.copy_from_slice(&head[4..12]);
+        let pc = u64::from_le_bytes(pc_bytes);
+        let mut read_extra = || -> Result<u64, TraceError> {
+            let word = body
+                .get(at..at + 8)
+                .ok_or(TraceError::Truncated {
+                    records: out.len() as u64,
+                })?;
+            at += 8;
             let mut b = [0u8; 8];
-            r.read_exact(&mut b)?;
+            b.copy_from_slice(word);
             Ok(u64::from_le_bytes(b))
         };
         let kind = match kind {
@@ -142,15 +246,11 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceError> {
             K_INT_DIV => InstKind::IntDiv,
             K_FP_ADD => InstKind::FpAdd,
             K_FP_DIV => InstKind::FpDiv,
-            K_LOAD => InstKind::Load {
-                addr: read_extra(&mut r)?,
-            },
-            K_STORE => InstKind::Store {
-                addr: read_extra(&mut r)?,
-            },
+            K_LOAD => InstKind::Load { addr: read_extra()? },
+            K_STORE => InstKind::Store { addr: read_extra()? },
             K_BRANCH => InstKind::Branch {
                 taken: flags & F_TAKEN != 0,
-                target: read_extra(&mut r)?,
+                target: read_extra()?,
             },
             other => return Err(TraceError::BadKind(other)),
         };
@@ -342,6 +442,82 @@ mod tests {
             TraceError::BadLine { line, .. } => assert_eq!(line, 2),
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    #[test]
+    fn hostile_count_rejected_without_allocating() {
+        // A header claiming ~2^61 records over a 12-byte body must be
+        // rejected up front (pre-allocating would abort the process).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"ACTR\x02");
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 12]); // one real record
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        match err {
+            TraceError::BadCount {
+                declared,
+                max_possible,
+            } => {
+                assert_eq!(declared, u64::MAX);
+                assert_eq!(max_possible, 1);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_reports_complete_records() {
+        let trace = sample_trace(100);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, trace.iter().copied()).unwrap();
+        // Cut the file mid-stream: parsing must fail with a typed
+        // truncation error, never a partial silently-OK result.
+        let cut = buf.len() - 7;
+        let err = read_binary(&buf[..cut]).unwrap_err();
+        match err {
+            TraceError::Truncated { records } => assert!(records < 100, "records={records}"),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_count_field_rejected() {
+        let err = read_binary(&b"ACTR\x02\x01\x02"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::Truncated { records: 0 }), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_traces_still_read() {
+        // Version 1 had no count header; records run to EOF.
+        let trace = sample_trace(50);
+        let mut body = Vec::new();
+        write_records(&mut body, trace.iter().copied()).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"ACTR\x01");
+        buf.extend_from_slice(&body);
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn count_larger_than_body_records_is_truncation() {
+        // Count passes the size check (body large enough in bytes) but
+        // the records are wider than MIN_RECORD_BYTES, so the body runs
+        // out first.
+        let trace: Vec<Inst> = (0..10)
+            .map(|i| Inst::free(i, InstKind::Load { addr: i * 64 }))
+            .collect();
+        let mut body = Vec::new();
+        write_records(&mut body, trace.iter().copied()).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"ACTR\x02");
+        buf.extend_from_slice(&12u64.to_le_bytes()); // claims 12, holds 10
+        buf.extend_from_slice(&body);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, TraceError::Truncated { records: 10 }),
+            "{err}"
+        );
     }
 
     #[test]

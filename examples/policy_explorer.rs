@@ -71,9 +71,12 @@ fn main() {
     let mut best: Option<(f64, String)> = None;
     for (label, kind) in &kinds {
         let mpki = run_functional_l2(bench, kind, PAPER_L2, insts)
+            .expect("paper geometry is valid")
             .stats
             .l2_mpki();
-        let cpi = run_timed(bench, kind, config, insts).cpi();
+        let cpi = run_timed(bench, kind, config, insts)
+            .expect("paper geometry is valid")
+            .cpi();
         println!("{label:26} {mpki:>10.3} {cpi:>8.3}");
         if best.as_ref().map(|(c, _)| cpi < *c).unwrap_or(true) {
             best = Some((cpi, label.clone()));

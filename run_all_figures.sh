@@ -2,6 +2,11 @@
 # Regenerates every table and figure of the paper's evaluation, plus the
 # extension experiments (ablations, future-work). Output also lands as
 # CSV/JSON under results/.
+#
+# For a crash-tolerant equivalent of the core figures, prefer
+#   cargo run --release -p bench --bin run_figures
+# which isolates panics per figure, checkpoints to
+# results/all_figures.journal.jsonl, and resumes with AC_RESUME=1.
 set -e
 cd "$(dirname "$0")"
 BINS="table1_config table_storage fig03_mpki fig04_cpi fig05_partial_tags \

@@ -30,13 +30,15 @@ fn timed_and_functional_agree_on_the_reference_stream() {
     // The timed pipeline and the functional driver must expose the same
     // L2 demand stream (timing must not change what is simulated).
     let b = &primary_suite()[1]; // applu
-    let functional = run_functional_l2(b, &L2Kind::Plain(PolicyKind::Lru), PAPER_L2, 40_000);
+    let functional =
+        run_functional_l2(b, &L2Kind::Plain(PolicyKind::Lru), PAPER_L2, 40_000).unwrap();
     let timed = run_timed(
         b,
         &L2Kind::Plain(PolicyKind::Lru),
         CpuConfig::paper_default(),
         40_000,
-    );
+    )
+    .unwrap();
     assert_eq!(
         functional.stats.l2_misses, timed.l2.misses,
         "functional and timed L2 misses diverge"
@@ -48,8 +50,8 @@ fn timed_and_functional_agree_on_the_reference_stream() {
 fn runs_are_deterministic_end_to_end() {
     let b = &primary_suite()[4];
     let kind = L2Kind::Adaptive(AdaptiveConfig::paper_default());
-    let s1 = run_timed(b, &kind, CpuConfig::paper_default(), 60_000);
-    let s2 = run_timed(b, &kind, CpuConfig::paper_default(), 60_000);
+    let s1 = run_timed(b, &kind, CpuConfig::paper_default(), 60_000).unwrap();
+    let s2 = run_timed(b, &kind, CpuConfig::paper_default(), 60_000).unwrap();
     assert_eq!(s1, s2, "identical configs must give identical results");
 }
 
@@ -61,9 +63,13 @@ fn adaptive_never_explodes_relative_to_lru() {
     let lru = L2Kind::Plain(PolicyKind::Lru);
     for b in primary_suite() {
         let a = run_functional_l2(&b, &adaptive, PAPER_L2, 150_000)
+            .unwrap()
             .stats
             .l2_misses;
-        let l = run_functional_l2(&b, &lru, PAPER_L2, 150_000).stats.l2_misses;
+        let l = run_functional_l2(&b, &lru, PAPER_L2, 150_000)
+            .unwrap()
+            .stats
+            .l2_misses;
         assert!(
             (a as f64) < (l as f64) * 1.25 + 2000.0,
             "{}: adaptive {a} vs LRU {l}",
@@ -103,6 +109,7 @@ fn sbar_and_adaptive_agree_on_direction() {
         .unwrap();
     let insts = 1_500_000; // several rescan repetitions
     let lru = run_functional_l2(&b, &L2Kind::Plain(PolicyKind::Lru), PAPER_L2, insts)
+        .unwrap()
         .stats
         .l2_misses;
     let adaptive = run_functional_l2(
@@ -111,6 +118,7 @@ fn sbar_and_adaptive_agree_on_direction() {
         PAPER_L2,
         insts,
     )
+    .unwrap()
     .stats
     .l2_misses;
     let sbar = run_functional_l2(
@@ -119,6 +127,7 @@ fn sbar_and_adaptive_agree_on_direction() {
         PAPER_L2,
         insts,
     )
+    .unwrap()
     .stats
     .l2_misses;
     assert!(adaptive < lru, "adaptive {adaptive} vs lru {lru}");
@@ -162,8 +171,8 @@ fn pipeline_cpi_orders_follow_memory_boundedness() {
     let parser = suite.iter().find(|b| b.name == "parser").unwrap();
     let kind = L2Kind::Plain(PolicyKind::Lru);
     let cfg = CpuConfig::paper_default();
-    let c_mcf = run_timed(mcf, &kind, cfg, 100_000).cpi();
-    let c_parser = run_timed(parser, &kind, cfg, 100_000).cpi();
+    let c_mcf = run_timed(mcf, &kind, cfg, 100_000).unwrap().cpi();
+    let c_parser = run_timed(parser, &kind, cfg, 100_000).unwrap().cpi();
     assert!(
         c_mcf > c_parser * 3.0,
         "mcf CPI {c_mcf:.2} vs parser {c_parser:.2}"
@@ -179,13 +188,15 @@ fn store_buffer_sweep_is_monotone_at_the_ends() {
         &kind,
         CpuConfig::paper_default().store_buffer(1),
         100_000,
-    );
+    )
+    .unwrap();
     let huge = run_timed(
         b,
         &kind,
         CpuConfig::paper_default().store_buffer(256),
         100_000,
-    );
+    )
+    .unwrap();
     assert!(
         tiny.cycles > huge.cycles,
         "store buffer pressure must cost cycles ({} vs {})",
@@ -215,9 +226,11 @@ fn dip_is_competitive_but_adaptive_wins_lfu_side() {
     let applu = suite.iter().find(|b| b.name == "applu").unwrap();
     let insts = 600_000;
     let lru = run_functional_l2(applu, &L2Kind::Plain(PolicyKind::Lru), PAPER_L2, insts)
+        .unwrap()
         .stats
         .l2_misses;
     let dip = run_functional_l2(applu, &L2Kind::Dip(DipConfig::paper_default()), PAPER_L2, insts)
+        .unwrap()
         .stats
         .l2_misses;
     assert!(

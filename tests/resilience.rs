@@ -1,0 +1,258 @@
+//! End-to-end resilience tests: the issue's acceptance scenarios.
+//!
+//! * A 3×3 (benchmark × L2) sweep with one injected-panic cell must
+//!   finish the other 8 cells, report a partial exit code, and leave a
+//!   journal behind.
+//! * Restarting the sweep in resume mode must recompute only the failed
+//!   cell (skip counts are asserted).
+//! * A corrupted/truncated trace corpus must surface typed
+//!   [`TraceError`]s, never panics or pathological allocations.
+//! * A wedged (stalling) cache cell must be timed out by the supervisor.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use experiments::resilience::{journal_path, Journal, JournalStatus, EXIT_OK, EXIT_PARTIAL};
+use experiments::runner::MpkiResult;
+use experiments::{
+    run_functional_l2, run_sweep, CellOutcome, ExperimentError, FaultSpec, FaultyRead, L2Kind,
+    SupervisorConfig, PAPER_L2,
+};
+use workloads::trace_io::{self, TraceError};
+use workloads::{primary_suite, Benchmark, Inst, InstKind};
+
+const INSTS: u64 = 20_000;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ac_accept_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// The 3×3 grid: three benchmarks × the paper's headline trio, with the
+/// organisation of cell `poison` (if any) wrapped in a first-access panic.
+fn grid(poison: Option<usize>) -> Vec<(usize, Benchmark, L2Kind)> {
+    let suite = primary_suite();
+    let benches = [&suite[0], &suite[1], &suite[2]];
+    let mut cells = Vec::new();
+    for b in benches {
+        for l2 in L2Kind::headline_trio() {
+            let i = cells.len();
+            let l2 = if poison == Some(i) {
+                L2Kind::Faulty {
+                    fault: FaultSpec::panic_at(1),
+                    inner: Box::new(l2),
+                }
+            } else {
+                l2
+            };
+            cells.push((i, b.clone(), l2));
+        }
+    }
+    cells
+}
+
+/// Stable across restarts and independent of the fault wrapper, so a
+/// fixed rerun of a failed cell resumes against the same key.
+fn key_of(cell: &(usize, Benchmark, L2Kind)) -> String {
+    format!("{}:{}", cell.0, cell.1.name)
+}
+
+fn run_cell(cell: (usize, Benchmark, L2Kind)) -> Result<MpkiResult, ExperimentError> {
+    run_functional_l2(&cell.1, &cell.2, PAPER_L2, INSTS)
+}
+
+#[test]
+fn three_by_three_sweep_survives_injected_panic_then_resumes() {
+    let dir = tmp_dir("sweep3x3");
+    let cfg = SupervisorConfig {
+        retries: 0,
+        journal: Some(journal_path(&dir, "accept")),
+        ..Default::default()
+    };
+
+    // Kill run: cell 4 (centre of the grid) panics on its first L2 access.
+    let rep = run_sweep(&grid(Some(4)), &cfg, key_of, run_cell).unwrap();
+    assert_eq!(rep.cells.len(), 9);
+    assert_eq!(rep.done(), 8, "the 8 healthy cells must finish");
+    assert_eq!(rep.failed(), 1);
+    assert_eq!(rep.exit_code(), EXIT_PARTIAL);
+    match &rep.cells[4].outcome {
+        CellOutcome::Failed(ExperimentError::Panic(m)) => {
+            assert!(m.contains("injected fault"), "{m}");
+        }
+        other => panic!("expected a panic failure in cell 4, got {other:?}"),
+    }
+
+    // The journal on disk agrees: 8 ok entries, 1 failed.
+    let journal = Journal::open(journal_path(&dir, "accept")).unwrap();
+    assert_eq!(journal.entries().len(), 9);
+    assert_eq!(journal.completed().len(), 8);
+    assert_eq!(
+        journal
+            .entries()
+            .iter()
+            .filter(|e| e.status == JournalStatus::Failed)
+            .count(),
+        1
+    );
+
+    // Resume run with the fault fixed: only the failed cell recomputes.
+    let cfg = SupervisorConfig {
+        resume: true,
+        ..cfg
+    };
+    let rep2 = run_sweep(&grid(None), &cfg, key_of, run_cell).unwrap();
+    assert_eq!(rep2.resumed(), 8, "completed cells must be skipped");
+    assert_eq!(rep2.done(), 1, "only the failed cell recomputes");
+    assert_eq!(rep2.failed(), 0);
+    assert_eq!(rep2.exit_code(), EXIT_OK);
+    assert!(rep2.is_complete());
+
+    // Resumed values round-tripped through the journal faithfully.
+    let values = rep2.values();
+    assert_eq!(values.len(), 9);
+    for ((i, b, _), v) in grid(None).iter().zip(&values) {
+        assert_eq!(&v.benchmark, &b.name, "cell {i} resumed the wrong value");
+        assert!(v.stats.instructions > 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_honours_ac_resume_env() {
+    // `journalled` is the only env-reading entry point; this is the only
+    // test in the binary touching AC_RESUME, so no cross-test races.
+    std::env::remove_var("AC_RESUME");
+    let dir = tmp_dir("env");
+    let cfg = SupervisorConfig::journalled(&dir, "envfig");
+    assert!(!cfg.resume, "no env var, no resume");
+    std::env::set_var("AC_RESUME", "1");
+    let cfg = SupervisorConfig::journalled(&dir, "envfig");
+    assert!(cfg.resume);
+    assert_eq!(cfg.journal.as_deref(), Some(&*dir.join("envfig.journal.jsonl")));
+    std::env::remove_var("AC_RESUME");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wedged_cache_cell_times_out_under_deadline() {
+    let suite = primary_suite();
+    let bench = suite[0].clone();
+    // One healthy cell and one that stalls 30s on its first L2 access.
+    let cells = vec![
+        (0usize, bench.clone(), L2Kind::Plain(cache_sim::PolicyKind::Lru)),
+        (
+            1usize,
+            bench,
+            L2Kind::Faulty {
+                fault: FaultSpec::stall_at(1, 30_000),
+                inner: Box::new(L2Kind::Plain(cache_sim::PolicyKind::Lru)),
+            },
+        ),
+    ];
+    let cfg = SupervisorConfig {
+        deadline: Some(Duration::from_millis(250)),
+        retries: 0,
+        ..Default::default()
+    };
+    let rep = run_sweep(&cells, &cfg, key_of, run_cell).unwrap();
+    assert_eq!(rep.done(), 1);
+    assert_eq!(rep.timed_out(), 1, "the stalled cell must be abandoned");
+    assert_eq!(rep.exit_code(), EXIT_PARTIAL);
+    assert!(matches!(rep.cells[1].outcome, CellOutcome::TimedOut(_)));
+}
+
+// ---------------------------------------------------------------------
+// Corrupted / truncated trace corpus, delivered through `FaultyRead`.
+// ---------------------------------------------------------------------
+
+fn sample_trace() -> Vec<u8> {
+    let insts = (0..64u64).map(|i| Inst {
+        pc: 0x1000 + i * 4,
+        kind: match i % 4 {
+            0 => InstKind::Load { addr: 0x8000 + i * 64 },
+            1 => InstKind::IntAlu,
+            2 => InstKind::Store { addr: 0x9000 + i * 64 },
+            _ => InstKind::Branch {
+                taken: i % 8 == 3,
+                target: 0x1000,
+            },
+        },
+        deps: [1, 0],
+    });
+    let mut buf = Vec::new();
+    trace_io::write_binary(&mut buf, insts).unwrap();
+    buf
+}
+
+#[test]
+fn truncated_trace_is_a_typed_error_not_a_panic() {
+    let bytes = sample_trace();
+    // Cut the stream mid-record, well past the header.
+    let cut = bytes.len() as u64 - 7;
+    let err = trace_io::read_binary(FaultyRead::new(&bytes[..]).truncate_at(cut)).unwrap_err();
+    match err {
+        TraceError::Truncated { records } => assert!(records < 64, "read {records}"),
+        // A cut inside the fixed part of a record surfaces as an
+        // UnexpectedEof from read_exact; both are typed, neither panics.
+        TraceError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+        other => panic!("expected truncation, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_magic_is_rejected() {
+    let bytes = sample_trace();
+    let err = trace_io::read_binary(FaultyRead::new(&bytes[..]).flip_bit(0, 0x20)).unwrap_err();
+    assert!(matches!(err, TraceError::BadHeader), "{err:?}");
+}
+
+#[test]
+fn hostile_record_count_is_rejected_before_allocation() {
+    let bytes = sample_trace();
+    // Flip the top bit of the little-endian count (header bytes 5..13):
+    // the header now claims ~2^63 records for a ~1 KiB body. A reader
+    // that pre-allocates from the header would abort; ours must return
+    // BadCount after comparing against the bytes actually present.
+    let err = trace_io::read_binary(FaultyRead::new(&bytes[..]).flip_bit(12, 0x80)).unwrap_err();
+    match err {
+        TraceError::BadCount {
+            declared,
+            max_possible,
+        } => {
+            assert!(declared > 1 << 62, "{declared}");
+            assert!(max_possible < 1024, "{max_possible}");
+        }
+        other => panic!("expected BadCount, got {other:?}"),
+    }
+}
+
+#[test]
+fn io_error_mid_trace_propagates() {
+    let bytes = sample_trace();
+    let err = trace_io::read_binary(FaultyRead::new(&bytes[..]).error_at(40)).unwrap_err();
+    match &err {
+        TraceError::Io(e) => assert!(e.to_string().contains("injected fault"), "{e}"),
+        other => panic!("expected Io, got {other:?}"),
+    }
+    // And the typed error converts into the pipeline error, not a panic.
+    let exp: ExperimentError = err.into();
+    assert!(matches!(exp, ExperimentError::Trace(_)));
+}
+
+#[test]
+fn flipped_payload_bit_still_parses_or_fails_typed() {
+    // A bit flip in a record body (not header) either decodes to a
+    // different-but-valid instruction or yields a typed BadKind — the
+    // reader must never panic on any single-bit corruption.
+    let bytes = sample_trace();
+    for at in 13..bytes.len() as u64 {
+        match trace_io::read_binary(FaultyRead::new(&bytes[..]).flip_bit(at, 0x10)) {
+            Ok(insts) => assert_eq!(insts.len(), 64),
+            Err(TraceError::BadKind(_)) | Err(TraceError::Truncated { .. }) => {}
+            Err(other) => panic!("byte {at}: unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The container cannot reach crates.io, so this vendors the API
+//! subset the workspace's benches use (see `[patch.crates-io]` in the
+//! workspace `Cargo.toml` and `vendor/README.md`): [`Criterion`],
+//! benchmark groups with [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — a calibrated wall-clock
+//! median over a few batches, printed as `name  time/iter  (thrpt)`.
+//! There is no warm-up analysis, outlier detection, or HTML report;
+//! the numbers are indicative, not publication-grade.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, decimal multiple (API parity).
+    BytesDecimal(u64),
+}
+
+/// Times one closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records its median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it runs for >= 5 ms.
+        let mut batch: u64 = 1;
+        let batch = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break batch.max(1);
+            }
+            batch = batch.saturating_mul(4);
+        };
+        // Measure a few batches and keep the median.
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:7.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:7.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:7.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:7.1} {unit}/s")
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({})", human_rate(n as f64 / (ns / 1e9), "elem"))
+        }
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            format!("  ({})", human_rate(n as f64 / (ns / 1e9), "B"))
+        }
+        None => String::new(),
+    };
+    println!("{name:<50} {}{thrpt}", human_time(ns));
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&name.to_string(), b.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+        c.bench_function("ungrouped", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,554 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The container cannot reach crates.io, so this vendors the slice of
+//! proptest the workspace's property tests use (see
+//! `[patch.crates-io]` in the workspace `Cargo.toml` and
+//! `vendor/README.md`):
+//!
+//! - the [`Strategy`] trait with `prop_map`, plus strategies for
+//!   ranges, [`Just`], tuples, [`collection::vec`], [`any`], and
+//!   `prop_oneof!`;
+//! - the [`proptest!`] macro running each test over `cases`
+//!   deterministically seeded inputs (seeded per case index, so
+//!   failures are reproducible);
+//! - `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`.
+//!
+//! Differences from real proptest: no shrinking (a failing case
+//! reports its seed instead of a minimised input), no persistence
+//! file, and no `#[proptest]` attribute form.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A failed property within a test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl fmt::Display) -> Self {
+        TestCaseError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration (`cases` = inputs generated per test).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic generator driving value production.
+
+    /// xoshiro256++-based test RNG, seeded per case for
+    /// reproducibility.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Builds the RNG for one test case of one test function.
+        pub fn for_case(test_seed: u64, case: u64) -> Self {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut state = test_seed
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(case.wrapping_mul(PHI));
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *w = z ^ (z >> 31);
+            }
+            TestRng { s }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let out = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        /// Uniform draw from `[0, span)` by widening multiply.
+        pub fn below(&mut self, span: u64) -> u64 {
+            ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating values of an output type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy (API-compat helper).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed strategy, as returned by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below((hi - lo) as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+range_strategy_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+range_strategy_int!(i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy used by [`any`] for primitives.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyOf<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_prim {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyOf<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyOf<$t>;
+            fn arbitrary() -> AnyOf<$t> {
+                AnyOf(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_prim! {
+    bool => |rng| rng.next_u64() & 1 == 1,
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i8 => |rng| rng.next_u64() as i8,
+    i16 => |rng| rng.next_u64() as i16,
+    i32 => |rng| rng.next_u64() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+    isize => |rng| rng.next_u64() as isize,
+}
+
+/// A weighted-less union of boxed strategies (see `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Size specification for [`vec`]: exact, `a..b`, or `a..=b`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Picks one of several strategies uniformly per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let mut __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(__options.push(::std::boxed::Box::new($strategy));)+
+        $crate::Union::new(__options)
+    }};
+}
+
+/// Asserts within a proptest body; failures report the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($lhs), stringify!($rhs), l
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`] (the config expression is
+/// hoisted out of the per-test repetition).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                // Distinct deterministic seed per test function.
+                let __test_seed: u64 = {
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in stringify!($name).bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x100_0000_01b3);
+                    }
+                    h
+                };
+                for __case in 0..(__config.cases as u64) {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(__test_seed, __case);
+                    $(let $arg = $crate::Strategy::new_value(&$strategy, &mut __rng);)+
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            stringify!($name), __case, __config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! Everything a property test usually imports.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0usize..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        fn oneof_and_map_compose(
+            v in prop_oneof![Just(1u32), Just(2), (10u32..12)].prop_map(|x| x * 10),
+        ) {
+            prop_assert!(v == 10 || v == 20 || v == 100 || v == 110, "{v}");
+        }
+
+        fn vectors_have_requested_len(
+            v in crate::collection::vec(any::<bool>(), 3..=7),
+        ) {
+            prop_assert!((3..=7).contains(&v.len()));
+        }
+
+        fn tuples_generate(t in (any::<bool>(), 1u32..=4, 0i64..10)) {
+            prop_assert!(t.1 >= 1 && t.1 <= 4);
+            prop_assert!((0..10).contains(&t.2));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case(1, 2);
+        let mut b = crate::test_runner::TestRng::for_case(1, 2);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

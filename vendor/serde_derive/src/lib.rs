@@ -1,0 +1,724 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the vendored `serde` facade (which targets a single JSON
+//! value tree) with **no** `syn`/`quote` dependency — the container
+//! cannot reach crates.io, so the item is parsed with a small
+//! hand-rolled cursor over `proc_macro::TokenTree`s and the impl is
+//! emitted as source text.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - structs with named fields, tuple structs (newtype and wider),
+//!   unit structs;
+//! - enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde's default);
+//! - `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(skip_serializing_if = "path")]`, `#[serde(rename = "s")]`
+//!   on fields;
+//! - `#[serde(rename_all = "...")]` and `#[serde(untagged)]`
+//!   (newtype variants) on containers.
+//!
+//! Unsupported input (generics, lifetimes, unions) fails with a
+//! `compile_error!` naming this file, never silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match (&item.kind, mode) {
+        (Kind::NamedStruct(fields), Mode::Ser) => gen_struct_ser(&item, fields),
+        (Kind::NamedStruct(fields), Mode::De) => gen_struct_de(&item, fields),
+        (Kind::TupleStruct(n), Mode::Ser) => gen_tuple_struct_ser(&item, *n),
+        (Kind::TupleStruct(n), Mode::De) => gen_tuple_struct_de(&item, *n),
+        (Kind::UnitStruct, Mode::Ser) => impl_ser(&item.name, "::serde::Value::Null".into()),
+        (Kind::UnitStruct, Mode::De) => impl_de(
+            &item.name,
+            format!("::std::result::Result::Ok({})", item.name),
+        ),
+        (Kind::Enum(variants), Mode::Ser) => gen_enum_ser(&item, variants),
+        (Kind::Enum(variants), Mode::De) => gen_enum_de(&item, variants),
+    };
+    match body.parse() {
+        Ok(ts) => ts,
+        Err(e) => compile_error(&format!(
+            "serde_derive (vendored) produced unparseable code for `{}`: {e}",
+            item.name
+        )),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", format!("vendored serde_derive: {msg}"))
+        .parse()
+        .expect("compile_error! literal always parses")
+}
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+    rename_all: Option<String>,
+    untagged: bool,
+    /// Container-level `#[serde(default)]`.
+    default_all: bool,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `Some(None)` = `#[serde(default)]`, `Some(Some(path))` =
+    /// `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+    skip_serializing_if: Option<String>,
+    rename: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    /// The JSON key for this field.
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consumes leading attributes, returning the parsed `serde` metas.
+    fn take_attrs(&mut self) -> Vec<(String, Option<String>)> {
+        let mut metas = Vec::new();
+        while self.at_punct('#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) =
+                        (inner.first(), inner.get(1))
+                    {
+                        if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis
+                        {
+                            metas.extend(parse_serde_metas(args.stream()));
+                        }
+                    }
+                    self.next();
+                }
+            }
+        }
+        metas
+    }
+
+    /// Consumes `pub`, `pub(...)`, or nothing.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses `name`, `name = "value"` pairs separated by commas.
+fn parse_serde_metas(ts: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut cur = Cursor::new(ts);
+    let mut out = Vec::new();
+    loop {
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(_) => continue,
+            None => break,
+        };
+        if cur.at_punct('=') {
+            cur.next();
+            if let Some(TokenTree::Literal(lit)) = cur.next() {
+                out.push((name, Some(unquote(&lit.to_string()))));
+            }
+        } else {
+            out.push((name, None));
+        }
+        if cur.at_punct(',') {
+            cur.next();
+        }
+    }
+    out
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    let metas = cur.take_attrs();
+    let mut rename_all = None;
+    let mut untagged = false;
+    let mut default_all = false;
+    for (name, value) in metas {
+        match (name.as_str(), value) {
+            ("rename_all", Some(v)) => rename_all = Some(v),
+            ("untagged", None) => untagged = true,
+            ("default", None) => default_all = true,
+            ("deny_unknown_fields", None) => {}
+            (other, _) => {
+                return Err(format!("unsupported container attribute `serde({other})`"))
+            }
+        }
+    }
+    cur.skip_visibility();
+    let keyword = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if cur.at_punct('<') {
+        return Err(format!("`{name}` is generic; not supported"));
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item {
+        name,
+        kind,
+        rename_all,
+        untagged,
+        default_all,
+    })
+}
+
+/// Parses `attrs vis name: Type, ...` — types are skipped by tracking
+/// angle-bracket depth so commas inside generics don't split fields.
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let metas = cur.take_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident()?;
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&mut cur);
+        let mut attrs = FieldAttrs::default();
+        for (meta, value) in metas {
+            match (meta.as_str(), value) {
+                ("default", v) => attrs.default = Some(v),
+                ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+                ("rename", Some(v)) => attrs.rename = Some(v),
+                (other, _) => {
+                    return Err(format!(
+                        "unsupported field attribute `serde({other})` on `{name}`"
+                    ))
+                }
+            }
+        }
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+/// Skips type tokens up to (and including) the next top-level comma.
+fn skip_type(cur: &mut Cursor) {
+    let mut depth = 0usize;
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                cur.next();
+                return;
+            }
+            _ => {}
+        }
+        cur.next();
+    }
+}
+
+/// Counts top-level comma-separated segments of a tuple-struct body.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut count = 1;
+    let mut last_was_comma = false;
+    for t in &toks {
+        last_was_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let _metas = cur.take_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = cur.expect_ident()?;
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                if n == 1 {
+                    VariantShape::Newtype
+                } else {
+                    VariantShape::Tuple(n)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cur.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        if cur.at_punct('=') {
+            while let Some(t) = cur.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                cur.next();
+            }
+        }
+        if cur.at_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// Applies the container's `rename_all` rule to a variant name.
+fn rename(variant: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in variant.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => variant.to_lowercase(),
+        Some("UPPERCASE") => variant.to_uppercase(),
+        Some("SCREAMING_SNAKE_CASE") => rename(variant, Some("snake_case")).to_uppercase(),
+        Some("kebab-case") => rename(variant, Some("snake_case")).replace('_', "-"),
+        Some("camelCase") => {
+            let mut cs = variant.chars();
+            match cs.next() {
+                Some(f) => f.to_lowercase().collect::<String>() + cs.as_str(),
+                None => String::new(),
+            }
+        }
+        _ => variant.to_string(),
+    }
+}
+
+fn impl_ser(name: &str, body: String) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn impl_de(name: &str, body: String) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// `insert` lines for named fields read from expressions like `&self.f`
+/// or a pattern binding.
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("let mut __m = ::serde::value::Map::new();\n");
+    for f in fields {
+        let expr = access(&f.name);
+        let insert = format!(
+            "__m.insert({key:?}.to_string(), ::serde::Serialize::to_value({expr}));",
+            key = f.key(),
+            expr = expr
+        );
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !({pred}({expr})) {{ {insert} }}\n"));
+        } else {
+            out.push_str(&insert);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Field initialisers for named fields taken from a map binding `__obj`.
+/// With `default_all` (container-level `#[serde(default)]`), fields
+/// without their own default fall back to the field type's default.
+fn de_named_fields(type_name: &str, fields: &[Field], default_all: bool) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = match &f.attrs.default {
+            Some(None) => "::std::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+            None if default_all => "::std::default::Default::default()".to_string(),
+            None => format!(
+                "return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"{type_name}: missing field `{key}`\"))",
+                key = f.key()
+            ),
+        };
+        out.push_str(&format!(
+            "{name}: match __obj.get({key:?}) {{\n\
+                 ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                 ::std::option::Option::None => {missing},\n\
+             }},\n",
+            name = f.name,
+            key = f.key()
+        ));
+    }
+    out
+}
+
+fn gen_struct_ser(item: &Item, fields: &[Field]) -> String {
+    let body = format!(
+        "{}::serde::Value::Object(__m)",
+        ser_named_fields(fields, |f| format!("&self.{f}"))
+    );
+    impl_ser(&item.name, body)
+}
+
+fn gen_struct_de(item: &Item, fields: &[Field]) -> String {
+    let name = &item.name;
+    let body = format!(
+        "let __obj = match __v {{\n\
+             ::serde::Value::Object(__m) => __m,\n\
+             _ => return ::std::result::Result::Err(::serde::Error::custom(\"{name}: expected object\")),\n\
+         }};\n\
+         ::std::result::Result::Ok({name} {{\n{fields}\n}})",
+        fields = de_named_fields(name, fields, item.default_all)
+    );
+    impl_de(name, body)
+}
+
+fn gen_tuple_struct_ser(item: &Item, n: usize) -> String {
+    let body = if n == 1 {
+        // Newtype structs are transparent, like real serde.
+        "::serde::Serialize::to_value(&self.0)".to_string()
+    } else {
+        let items: Vec<String> = (0..n)
+            .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+            .collect();
+        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+    };
+    impl_ser(&item.name, body)
+}
+
+fn gen_tuple_struct_de(item: &Item, n: usize) -> String {
+    let name = &item.name;
+    let body = if n == 1 {
+        format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+    } else {
+        let items: Vec<String> = (0..n)
+            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+            .collect();
+        format!(
+            "let __a = match __v {{\n\
+                 ::serde::Value::Array(__a) if __a.len() == {n} => __a,\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\"{name}: expected array of {n}\")),\n\
+             }};\n\
+             ::std::result::Result::Ok({name}({items}))",
+            items = items.join(", ")
+        )
+    };
+    impl_de(name, body)
+}
+
+fn gen_enum_ser(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let rule = item.rename_all.as_deref();
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let key = rename(vname, rule);
+        let arm = match &v.shape {
+            VariantShape::Unit => format!(
+                "{name}::{vname} => ::serde::Value::String({key:?}.to_string()),\n"
+            ),
+            VariantShape::Newtype => {
+                if item.untagged {
+                    format!("{name}::{vname}(__f0) => ::serde::Serialize::to_value(__f0),\n")
+                } else {
+                    format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                             let mut __o = ::serde::value::Map::new();\n\
+                             __o.insert({key:?}.to_string(), ::serde::Serialize::to_value(__f0));\n\
+                             ::serde::Value::Object(__o)\n\
+                         }}\n"
+                    )
+                }
+            }
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({binds}) => {{\n\
+                         let mut __o = ::serde::value::Map::new();\n\
+                         __o.insert({key:?}.to_string(), ::serde::Value::Array(vec![{items}]));\n\
+                         ::serde::Value::Object(__o)\n\
+                     }}\n",
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                )
+            }
+            VariantShape::Struct(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                format!(
+                    "{name}::{vname} {{ {binds} }} => {{\n\
+                         {inner}\
+                         let mut __o = ::serde::value::Map::new();\n\
+                         __o.insert({key:?}.to_string(), ::serde::Value::Object(__m));\n\
+                         ::serde::Value::Object(__o)\n\
+                     }}\n",
+                    binds = binds.join(", "),
+                    inner = ser_named_fields(fields, |f| f.to_string())
+                )
+            }
+        };
+        arms.push_str(&arm);
+    }
+    impl_ser(name, format!("match self {{\n{arms}}}"))
+}
+
+fn gen_enum_de(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    if item.untagged {
+        let mut body = String::new();
+        for v in variants {
+            match &v.shape {
+                VariantShape::Newtype => body.push_str(&format!(
+                    "if let ::std::result::Result::Ok(__x) = ::serde::Deserialize::from_value(__v) {{\n\
+                         return ::std::result::Result::Ok({name}::{vname}(__x));\n\
+                     }}\n",
+                    vname = v.name
+                )),
+                VariantShape::Unit => body.push_str(&format!(
+                    "if __v.is_null() {{ return ::std::result::Result::Ok({name}::{vname}); }}\n",
+                    vname = v.name
+                )),
+                _ => {
+                    return compile_body_error(format!(
+                        "untagged enum `{name}`: only unit/newtype variants supported"
+                    ))
+                }
+            }
+        }
+        body.push_str(&format!(
+            "::std::result::Result::Err(::serde::Error::custom(\
+             \"data did not match any variant of untagged enum {name}\"))"
+        ));
+        return impl_de(name, body);
+    }
+
+    let rule = item.rename_all.as_deref();
+    let mut string_arms = String::new();
+    let mut object_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let key = rename(vname, rule);
+        match &v.shape {
+            VariantShape::Unit => string_arms.push_str(&format!(
+                "{key:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+            )),
+            VariantShape::Newtype => object_arms.push_str(&format!(
+                "{key:?} => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::from_value(__inner)?)),\n"
+            )),
+            VariantShape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                object_arms.push_str(&format!(
+                    "{key:?} => {{\n\
+                         let __a = match __inner {{\n\
+                             ::serde::Value::Array(__a) if __a.len() == {n} => __a,\n\
+                             _ => return ::std::result::Result::Err(::serde::Error::custom(\"{name}::{vname}: expected array of {n}\")),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                     }}\n",
+                    items = items.join(", ")
+                ));
+            }
+            VariantShape::Struct(fields) => object_arms.push_str(&format!(
+                "{key:?} => {{\n\
+                     let __obj = match __inner {{\n\
+                         ::serde::Value::Object(__m) => __m,\n\
+                         _ => return ::std::result::Result::Err(::serde::Error::custom(\"{name}::{vname}: expected object\")),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name}::{vname} {{\n{fields}\n}})\n\
+                 }}\n",
+                fields = de_named_fields(&format!("{name}::{vname}"), fields, false)
+            )),
+        }
+    }
+    let body = format!(
+        "match __v {{\n\
+             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {string_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                     \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = match __m.iter().next() {{\n\
+                     ::std::option::Option::Some(__kv) => __kv,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::custom(\"{name}: empty object\")),\n\
+                 }};\n\
+                 match __k.as_str() {{\n\
+                     {object_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                         \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"{name}: expected variant string or single-key object\")),\n\
+         }}"
+    );
+    impl_de(name, body)
+}
+
+fn compile_body_error(msg: String) -> String {
+    format!("compile_error!({:?});", format!("vendored serde_derive: {msg}"))
+}
