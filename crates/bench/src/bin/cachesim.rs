@@ -3,6 +3,7 @@
 //! Usage:
 //!   cargo run --release -p bench --bin cachesim -- run.json
 //!   cargo run --release -p bench --bin cachesim -- --template > run.json
+//!   cargo run --release -p bench --bin cachesim -- --telemetry out/ run.json
 //!
 //! The JSON file describes either **one run** — a workload (a suite
 //! benchmark by name, an inline `WorkloadSpec`, or a recorded trace
@@ -15,6 +16,12 @@
 //! every settled cell is checkpointed to
 //! `results/<name>.journal.jsonl`; re-running with `AC_RESUME=1` skips
 //! cells the journal proves complete.
+//!
+//! Telemetry: `--telemetry <dir>` (or `--metrics` for `results/`, or the
+//! `AC_TELEMETRY` environment variable) enables the `ac-telemetry`
+//! observability layer — `metrics.prom`, a Chrome `trace.json`, a
+//! sampled `events.jsonl` decision stream and `telemetry-summary.json`
+//! are written to the chosen directory on exit.
 //!
 //! Exit codes: `0` all results produced, `2` sweep finished with partial
 //! results, `3` invalid input.
@@ -214,7 +221,7 @@ fn run_request(req: &RunRequest) -> Result<RunReply, ExperimentError> {
 
 /// Prints an error and exits with the invalid-input code.
 fn die_invalid(msg: &str) -> ! {
-    eprintln!("cachesim: {msg}");
+    ac_telemetry::error!("cachesim: {msg}");
     std::process::exit(EXIT_INVALID_INPUT)
 }
 
@@ -294,24 +301,30 @@ fn run_sweep_request(req: SweepRequest, config_path: &Path) -> i32 {
         })
         .collect();
     println!("{}", to_json(&lines));
-    eprintln!("cachesim: {}", report.summary());
+    ac_telemetry::info!("cachesim: {}", report.summary());
     if let Some(path) = &cfg.journal {
-        eprintln!("cachesim: journal at {}", path.display());
+        ac_telemetry::info!("cachesim: journal at {}", path.display());
         if report.exit_code() == EXIT_PARTIAL {
-            eprintln!("cachesim: re-run with AC_RESUME=1 to retry only unfinished cells");
+            ac_telemetry::info!("cachesim: re-run with AC_RESUME=1 to retry only unfinished cells");
         }
     }
     report.exit_code()
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_default();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = bench::init_telemetry(&mut args) {
+        die_invalid(&e);
+    }
+    let arg = args.first().cloned().unwrap_or_default();
     if arg == "--template" {
         println!("{}", to_json(&template()));
         return;
     }
     if arg.is_empty() || arg.starts_with("--") {
-        die_invalid("usage: cachesim <run.json> | cachesim --template");
+        die_invalid(
+            "usage: cachesim [--telemetry <dir> | --metrics] <run.json> | cachesim --template",
+        );
     }
 
     let text = match std::fs::read_to_string(&arg) {
@@ -325,7 +338,10 @@ fn main() {
 
     match input {
         Input::Single(req) => match run_request(&req) {
-            Ok(reply) => println!("{}", to_json(&reply)),
+            Ok(reply) => {
+                println!("{}", to_json(&reply));
+                bench::finish_telemetry();
+            }
             Err(e) => die_invalid(&e.to_string()),
         },
         Input::Sweep(sweep) => {
@@ -337,7 +353,9 @@ fn main() {
                     die_invalid(&format!("sweep cell {i}: {e}"));
                 }
             }
-            std::process::exit(run_sweep_request(sweep, Path::new(&arg)));
+            let code = run_sweep_request(sweep, Path::new(&arg));
+            bench::finish_telemetry();
+            std::process::exit(code);
         }
     }
 }

@@ -17,7 +17,7 @@ fn main() {
         if let Err(e) =
             table.write_artifacts(Path::new("results"), &format!("fig07_{name}"))
         {
-            eprintln!("warning: {e}");
+            ac_telemetry::warn!("{e}");
         }
     }
 }

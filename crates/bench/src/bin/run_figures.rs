@@ -10,7 +10,13 @@
 //! recomputing them.
 //!
 //! Usage: `cargo run --release -p bench --bin run_figures`
-//! (`AC_INSTS` sets the per-benchmark budget, `AC_RESUME=1` resumes).
+//! (`AC_INSTS` sets the per-benchmark budget, `AC_RESUME=1` resumes,
+//! `--telemetry <dir>` / `--metrics` / `AC_TELEMETRY` export the full
+//! telemetry artifact set).
+//!
+//! Every figure runs under an `ac-telemetry` span, and the run ends with
+//! a per-figure wall-time summary on stderr — an always-on, in-memory
+//! hub is installed even when no artifacts were requested.
 //!
 //! Exit codes: 0 all figures produced, 2 partial results.
 
@@ -20,6 +26,22 @@ use experiments::{default_insts, figures, Table};
 use std::path::Path;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match bench::init_telemetry(&mut args) {
+        // No artifacts requested: still install an in-memory hub (event
+        // stream off) so the figure spans below feed the wall-time
+        // summary.
+        Ok(None) => {
+            let cfg = ac_telemetry::TelemetryConfig::default().with_sample_rate(0);
+            let _ = ac_telemetry::Telemetry::install(cfg);
+        }
+        Ok(Some(_)) => {}
+        Err(e) => {
+            ac_telemetry::error!("run_figures: {e}");
+            std::process::exit(resilience::EXIT_INVALID_INPUT);
+        }
+    }
+
     let insts = default_insts();
     let results = Path::new("results");
     let cfg = SupervisorConfig::journalled(results, "all_figures");
@@ -30,16 +52,17 @@ fn main() {
         &cfg,
         |(name, _)| (*name).to_string(),
         move |(name, f): (&'static str, fn(u64) -> Table)| {
-            eprintln!("{name}: running ...");
+            let _span = ac_telemetry::span("figure", || name.to_string());
+            ac_telemetry::info!("{name}: running ...");
             let start = std::time::Instant::now();
             let table = f(insts);
-            eprintln!("{name}: done in {:.1}s", start.elapsed().as_secs_f64());
+            ac_telemetry::info!("{name}: done in {:.1}s", start.elapsed().as_secs_f64());
             Ok(table)
         },
     ) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("run_figures: cannot start sweep: {e}");
+            ac_telemetry::error!("run_figures: cannot start sweep: {e}");
             std::process::exit(resilience::EXIT_INVALID_INPUT);
         }
     };
@@ -50,18 +73,47 @@ fn main() {
                 emit(t, &cell.key);
             }
             resilience::CellOutcome::Failed(e) => {
-                eprintln!("run_figures: {} FAILED: {e}", cell.key)
+                ac_telemetry::error!("run_figures: {} FAILED: {e}", cell.key)
             }
-            resilience::CellOutcome::TimedOut(d) => eprintln!(
+            resilience::CellOutcome::TimedOut(d) => ac_telemetry::error!(
                 "run_figures: {} TIMED OUT after {:.1}s",
                 cell.key,
                 d.as_secs_f64()
             ),
         }
     }
-    eprintln!("run_figures: {}", report.summary());
+
+    print_wall_time_summary();
+    ac_telemetry::info!("run_figures: {}", report.summary());
     if !report.is_complete() {
-        eprintln!("run_figures: re-run with AC_RESUME=1 to retry only unfinished figures");
+        ac_telemetry::info!("run_figures: re-run with AC_RESUME=1 to retry only unfinished figures");
     }
+    bench::finish_telemetry();
     std::process::exit(report.exit_code());
+}
+
+/// Per-figure wall time from the telemetry span data, widest first.
+/// Resumed figures carry no span (they were not recomputed) and are
+/// absent by construction.
+fn print_wall_time_summary() {
+    let Some(hub) = ac_telemetry::hub() else {
+        return;
+    };
+    let mut figures: Vec<(String, u64)> = hub
+        .span_totals()
+        .into_iter()
+        .filter(|(_, cat, _, _)| *cat == "figure")
+        .map(|(name, _, _, total_us)| (name, total_us))
+        .collect();
+    if figures.is_empty() {
+        return;
+    }
+    figures.sort_by_key(|f| std::cmp::Reverse(f.1));
+    let total_us: u64 = figures.iter().map(|(_, us)| us).sum();
+    let width = figures.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    ac_telemetry::info!("run_figures: per-figure wall time:");
+    for (name, us) in &figures {
+        ac_telemetry::info!("  {name:width$}  {:>8.1}s", *us as f64 / 1e6);
+    }
+    ac_telemetry::info!("  {:width$}  {:>8.1}s", "total", total_us as f64 / 1e6);
 }

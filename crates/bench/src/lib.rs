@@ -2,21 +2,92 @@
 //! the criterion micro-benchmarks (`benches/`).
 
 use experiments::Table;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Prints a table and writes `results/<stem>.{csv,json}`.
 pub fn emit(table: &Table, stem: &str) {
     println!("{table}");
     if let Err(e) = table.write_artifacts(Path::new("results"), stem) {
-        eprintln!("warning: could not write results/{stem}: {e}");
+        ac_telemetry::warn!("could not write results/{stem}: {e}");
     }
 }
 
 /// Runs `f` with wall-clock reporting on stderr.
 pub fn timed<T>(what: &str, f: impl FnOnce() -> T) -> T {
-    eprintln!("{what}: running ...");
+    ac_telemetry::info!("{what}: running ...");
     let start = std::time::Instant::now();
     let out = f();
-    eprintln!("{what}: done in {:.1}s", start.elapsed().as_secs_f64());
+    ac_telemetry::info!("{what}: done in {:.1}s", start.elapsed().as_secs_f64());
     out
+}
+
+/// Strips the shared telemetry flags from `args` and installs the
+/// process-global [`ac_telemetry::Telemetry`] hub they (or the
+/// `AC_TELEMETRY` environment variable) ask for.
+///
+/// * `--telemetry <dir>` (or `--telemetry=<dir>`) — enable telemetry with
+///   artifacts under `<dir>`;
+/// * `--metrics` — enable telemetry with artifacts under `results/`;
+/// * neither — defer to `AC_TELEMETRY` (see the `ac-telemetry` docs).
+///
+/// Flags take precedence over the environment for the artifact
+/// directory; `AC_TELEMETRY_SAMPLE` still controls event sampling.
+/// Returns the hub when telemetry ends up enabled, `Err` on a malformed
+/// flag (missing directory operand).
+pub fn init_telemetry(args: &mut Vec<String>) -> Result<Option<&'static ac_telemetry::Telemetry>, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--metrics" {
+            args.remove(i);
+            dir.get_or_insert_with(|| PathBuf::from("results"));
+        } else if args[i] == "--telemetry" {
+            if i + 1 >= args.len() {
+                return Err("flag `--telemetry` requires a directory operand".into());
+            }
+            args.remove(i);
+            dir = Some(PathBuf::from(args.remove(i)));
+        } else if let Some(rest) = args[i].strip_prefix("--telemetry=") {
+            if rest.is_empty() {
+                return Err("flag `--telemetry=` requires a directory operand".into());
+            }
+            dir = Some(PathBuf::from(rest));
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    match dir {
+        Some(dir) => {
+            // Respect the environment's sampling choice, but let the flag
+            // decide the directory.
+            let sample = std::env::var("AC_TELEMETRY_SAMPLE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(ac_telemetry::DEFAULT_ENV_SAMPLE_RATE);
+            let cfg = ac_telemetry::TelemetryConfig::default()
+                .with_dir(dir)
+                .with_sample_rate(sample);
+            Ok(ac_telemetry::Telemetry::install(cfg).ok())
+        }
+        None => Ok(ac_telemetry::init_from_env()),
+    }
+}
+
+/// Flushes telemetry artifacts (when a hub with an artifact directory is
+/// installed) and reports where they landed. Call once, before exiting —
+/// binaries that leave via `std::process::exit` skip destructors, so the
+/// flush cannot be left to drop glue.
+pub fn finish_telemetry() {
+    let Some(hub) = ac_telemetry::hub() else {
+        return;
+    };
+    match hub.write_artifacts() {
+        Ok(paths) => {
+            for p in paths {
+                ac_telemetry::info!("telemetry: wrote {}", p.display());
+            }
+        }
+        Err(e) => ac_telemetry::warn!("could not write telemetry artifacts: {e}"),
+    }
 }

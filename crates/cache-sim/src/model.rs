@@ -27,6 +27,16 @@ pub trait CacheModel: fmt::Debug + Send {
 
     /// A human-readable label for reports (e.g. `"LRU (512KB, 8-way)"`).
     fn label(&self) -> String;
+
+    /// Flushes this cache's aggregate statistics to the installed
+    /// telemetry recorder, dimensioned by [`CacheModel::label`]. A no-op
+    /// (no allocation) when telemetry is disabled; counters are
+    /// cumulative, so call once per finished run.
+    fn flush_telemetry(&self) {
+        if ac_telemetry::enabled() {
+            self.stats().flush_telemetry(&self.label());
+        }
+    }
 }
 
 impl<T: CacheModel + ?Sized> CacheModel for Box<T> {

@@ -44,7 +44,45 @@ impl CacheStats {
         }
     }
 
+    /// Accumulates `other` into `self`, so sharded or parallel sweeps can
+    /// aggregate per-worker statistics without hand-rolled field addition.
+    ///
+    /// ```
+    /// use cache_sim::CacheStats;
+    /// let mut total = CacheStats { accesses: 10, misses: 4, ..Default::default() };
+    /// let shard = CacheStats { accesses: 5, misses: 1, ..Default::default() };
+    /// total.merge(&shard);
+    /// assert_eq!(total.accesses, 15);
+    /// assert_eq!(total.misses, 5);
+    /// ```
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.read_misses += other.read_misses;
+        self.write_misses += other.write_misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+    }
+
+    /// Flushes these statistics to the installed telemetry recorder as
+    /// counters dimensioned by `label` (a no-op when telemetry is
+    /// disabled). Counters are cumulative — call once per finished run,
+    /// not per access.
+    pub fn flush_telemetry(&self, label: &str) {
+        if let Some(r) = ac_telemetry::recorder() {
+            r.counter_add("cache_accesses_total", label, self.accesses);
+            r.counter_add("cache_hits_total", label, self.hits);
+            r.counter_add("cache_misses_total", label, self.misses);
+            r.counter_add("cache_read_misses_total", label, self.read_misses);
+            r.counter_add("cache_write_misses_total", label, self.write_misses);
+            r.counter_add("cache_evictions_total", label, self.evictions);
+            r.counter_add("cache_writebacks_total", label, self.writebacks);
+        }
+    }
+
     /// Miss ratio in `[0, 1]`; 0 when there were no accesses.
+    #[must_use]
     pub fn miss_ratio(&self) -> f64 {
         if self.accesses == 0 {
             0.0
@@ -54,6 +92,7 @@ impl CacheStats {
     }
 
     /// Hit ratio in `[0, 1]`; 0 when there were no accesses.
+    #[must_use]
     pub fn hit_ratio(&self) -> f64 {
         if self.accesses == 0 {
             0.0
@@ -69,6 +108,7 @@ impl CacheStats {
     /// let s = CacheStats { misses: 500, ..Default::default() };
     /// assert_eq!(s.mpki(100_000), 5.0);
     /// ```
+    #[must_use]
     pub fn mpki(&self, instructions: u64) -> f64 {
         if instructions == 0 {
             0.0
@@ -106,6 +146,54 @@ mod tests {
         s.record(false, false);
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = CacheStats {
+            accesses: 10,
+            hits: 6,
+            misses: 4,
+            read_misses: 3,
+            write_misses: 1,
+            evictions: 2,
+            writebacks: 1,
+        };
+        let b = CacheStats {
+            accesses: 7,
+            hits: 2,
+            misses: 5,
+            read_misses: 4,
+            write_misses: 1,
+            evictions: 5,
+            writebacks: 3,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            CacheStats {
+                accesses: 17,
+                hits: 8,
+                misses: 9,
+                read_misses: 7,
+                write_misses: 2,
+                evictions: 7,
+                writebacks: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_identity_is_default() {
+        let mut s = CacheStats {
+            accesses: 3,
+            hits: 1,
+            misses: 2,
+            ..Default::default()
+        };
+        let before = s;
+        s.merge(&CacheStats::default());
+        assert_eq!(s, before);
     }
 
     #[test]

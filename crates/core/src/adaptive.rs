@@ -1,6 +1,7 @@
 //! The two-policy adaptive cache (paper Sections 2–3).
 
 use crate::history::{HistoryKind, MissHistory};
+use ac_telemetry::{DecisionEvent, EvictionCase};
 use cache_sim::{
     AccessOutcome, BlockAddr, CacheModel, CacheStats, Directory, Eviction, Geometry, PolicyKind,
     ReplacementPolicy, TagArray, TagMode, Way,
@@ -25,6 +26,14 @@ impl Component {
         match self {
             Component::A => Component::B,
             Component::B => Component::A,
+        }
+    }
+
+    /// The telemetry wire representation of this component.
+    pub fn telemetry(self) -> ac_telemetry::Comp {
+        match self {
+            Component::A => ac_telemetry::Comp::A,
+            Component::B => ac_telemetry::Comp::B,
         }
     }
 }
@@ -336,13 +345,20 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> AdaptiveCache<A, B> {
             .position(|w| w.valid && mode.store(w.tag.raw()) == evicted.tag)
     }
 
-    /// The victim way for a real miss in `set`, per Algorithm 1.
-    fn choose_victim(&mut self, set: usize, winner: Component, shadow_miss: Option<Way>) -> usize {
+    /// The victim way for a real miss in `set`, per Algorithm 1, tagged
+    /// with which branch of the algorithm produced it (for the telemetry
+    /// decision-event stream).
+    fn choose_victim(
+        &mut self,
+        set: usize,
+        winner: Component,
+        shadow_miss: Option<Way>,
+    ) -> (usize, EvictionCase) {
         // Case 1: the imitated policy also missed here and its victim is
         // still in the adaptive cache — evict the very same block.
         if let Some(evicted) = shadow_miss {
             if let Some(way) = self.way_matching_shadow_victim(set, winner, evicted) {
-                return way;
+                return (way, EvictionCase::SameVictim);
             }
         }
         // Section 3.3 shortcut: when imitating an LRU component, evict
@@ -354,18 +370,21 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> AdaptiveCache<A, B> {
                 Component::B => self.shadow_b.policy().name() == "LRU",
             };
             if is_lru {
-                return recency.victim(set, &mut self.rng);
+                return (recency.victim(set, &mut self.rng), EvictionCase::LruShortcut);
             }
         }
         // Case 2: make the adaptive contents converge towards the imitated
         // cache by evicting a block the imitated cache does not hold.
         if let Some(way) = self.way_not_in_shadow(set, winner) {
-            return way;
+            return (way, EvictionCase::NotInShadow);
         }
         // Case 3 (partial tags only): aliasing hid every candidate —
         // "the adaptive cache simply picks an arbitrary block to evict".
         self.aliasing_fallbacks += 1;
-        self.rng.gen_range(0..self.real.geometry().associativity())
+        (
+            self.rng.gen_range(0..self.real.geometry().associativity()),
+            EvictionCase::AliasFallback,
+        )
     }
 }
 
@@ -379,6 +398,15 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> CacheModel for AdaptiveCache<A,
         let acc_a = self.shadow_a.access(block);
         let acc_b = self.shadow_b.access(block);
         self.history[set].record(!acc_a.hit, !acc_b.hit);
+        if acc_a.hit != acc_b.hit {
+            // Exclusive miss: the only kind of reference that moves the
+            // history towards one component.
+            ac_telemetry::decision(|| DecisionEvent::HistoryUpdate {
+                set: set as u32,
+                a_missed: !acc_a.hit,
+                b_missed: !acc_b.hit,
+            });
+        }
 
         // 2. Real lookup.
         if let Some(way) = self.real.find(set, stored) {
@@ -413,7 +441,13 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> CacheModel for AdaptiveCache<A,
                     Component::A => (!acc_a.hit).then_some(acc_a.evicted).flatten(),
                     Component::B => (!acc_b.hit).then_some(acc_b.evicted).flatten(),
                 };
-                self.choose_victim(set, winner, shadow_miss)
+                let (way, case) = self.choose_victim(set, winner, shadow_miss);
+                ac_telemetry::decision(|| DecisionEvent::Imitation {
+                    set: set as u32,
+                    component: winner.telemetry(),
+                    case,
+                });
+                way
             }
         };
 

@@ -184,6 +184,13 @@ impl CacheModel for DipCache {
             SetRole::LeaderBip => self.psel = self.psel.saturating_sub(1),
             SetRole::Follower => {}
         }
+        if self.roles[set] != SetRole::Follower {
+            ac_telemetry::decision(|| ac_telemetry::DecisionEvent::DuelVote {
+                set: set as u32,
+                bip_leader: self.roles[set] == SetRole::LeaderBip,
+                psel: self.psel,
+            });
+        }
 
         let way = match self.real.invalid_way(set) {
             Some(w) => w,

@@ -17,6 +17,7 @@
 //! average CPI improvement) at 0.16% storage overhead.
 
 use crate::history::{HistoryKind, MissHistory};
+use ac_telemetry::{DecisionEvent, EvictionCase};
 use cache_sim::{
     AccessOutcome, BlockAddr, CacheModel, CacheStats, Directory, Eviction, Geometry, MetaTable,
     PolicyKind, ReplacementPolicy, TagArray, TagMode, Way,
@@ -182,10 +183,13 @@ impl SbarCache {
         self.leader_index[set].is_some()
     }
 
-    fn bump_psel(&mut self, a_missed: bool, b_missed: bool) {
-        if a_missed && !b_missed {
+    fn bump_psel(&mut self, set: usize, slot: usize, a_missed: bool, b_missed: bool) {
+        if a_missed == b_missed {
+            return; // ties in either direction do not train the selector
+        }
+        if a_missed {
             self.psel = (self.psel + 1).min(self.psel_max);
-        } else if b_missed && !a_missed {
+        } else {
             self.psel = self.psel.saturating_sub(1);
         }
         let now = self.global_winner();
@@ -193,6 +197,12 @@ impl SbarCache {
             self.switches += 1;
             self.last_global = now;
         }
+        ac_telemetry::decision(|| DecisionEvent::LeaderVote {
+            set: set as u32,
+            slot: slot as u32,
+            psel: self.psel,
+            global: now.telemetry(),
+        });
     }
 
     /// Leader-set replacement: the regular adaptive Algorithm 1 against the
@@ -205,6 +215,22 @@ impl SbarCache {
         acc_b: (bool, Option<Way>),
     ) -> usize {
         let winner = self.history[slot].winner();
+        let (way, case) = self.leader_victim_inner(set, winner, acc_a, acc_b);
+        ac_telemetry::decision(|| DecisionEvent::Imitation {
+            set: set as u32,
+            component: winner.telemetry(),
+            case,
+        });
+        way
+    }
+
+    fn leader_victim_inner(
+        &mut self,
+        set: usize,
+        winner: Component,
+        acc_a: (bool, Option<Way>),
+        acc_b: (bool, Option<Way>),
+    ) -> (usize, EvictionCase) {
         let (shadow, miss) = match winner {
             Component::A => (&self.shadow_a, acc_a),
             Component::B => (&self.shadow_b, acc_b),
@@ -218,7 +244,7 @@ impl SbarCache {
                 .iter()
                 .position(|w| w.valid && mode.store(w.tag.raw()) == ev.tag)
             {
-                return way;
+                return (way, EvictionCase::SameVictim);
             }
         }
         if let Some(way) = self
@@ -227,17 +253,26 @@ impl SbarCache {
             .iter()
             .position(|w| w.valid && !shadow.contains(set, mode.store(w.tag.raw())))
         {
-            return way;
+            return (way, EvictionCase::NotInShadow);
         }
         self.aliasing_fallbacks += 1;
-        self.rng.gen_range(0..self.real.geometry().associativity())
+        (
+            self.rng.gen_range(0..self.real.geometry().associativity()),
+            EvictionCase::AliasFallback,
+        )
     }
 
     /// Follower-set replacement: apply the globally selected policy to the
     /// blocks currently resident, using its continuously maintained
     /// metadata.
     fn follower_victim(&mut self, set: usize) -> usize {
-        match self.global_winner() {
+        let global = self.global_winner();
+        ac_telemetry::decision(|| DecisionEvent::Imitation {
+            set: set as u32,
+            component: global.telemetry(),
+            case: EvictionCase::Follower,
+        });
+        match global {
             Component::A => self.meta_a.victim(set, &mut self.rng),
             Component::B => self.meta_b.victim(set, &mut self.rng),
         }
@@ -258,7 +293,7 @@ impl CacheModel for SbarCache {
             acc_a = (a.hit, a.evicted);
             acc_b = (b.hit, b.evicted);
             self.history[slot].record(!a.hit, !b.hit);
-            self.bump_psel(!a.hit, !b.hit);
+            self.bump_psel(set, slot, !a.hit, !b.hit);
         }
 
         if let Some(way) = self.real.find(set, stored) {

@@ -303,6 +303,9 @@ where
     L1D: CacheModel,
     I: Iterator<Item = workloads::Inst>,
 {
+    let _span = ac_telemetry::span("cpu", || {
+        format!("functional_run {}", hierarchy.l2().label())
+    });
     let mut stats = FunctionalStats::default();
     let mut last_iblock = u64::MAX;
     for inst in trace.take(max_insts as usize) {
@@ -324,6 +327,10 @@ where
     // Count only demand misses at the L2 (instruction fetches, data
     // accesses and L1 writebacks); prefetch fills are excluded.
     stats.l2_misses = hierarchy.demand_l2_misses();
+    if ac_telemetry::enabled() {
+        hierarchy.l2().flush_telemetry();
+        ac_telemetry::counter_add("functional_instructions_total", stats.instructions);
+    }
     stats
 }
 

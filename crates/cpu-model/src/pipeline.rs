@@ -479,10 +479,19 @@ impl<L2: CacheModel, L1I: CacheModel, L1D: CacheModel> Pipeline<L2, L1I, L1D> {
 
     /// Runs `max_insts` instructions from `trace` and reports statistics.
     pub fn run<I: Iterator<Item = Inst>>(&mut self, trace: I, max_insts: u64) -> RunStats {
+        let _span = ac_telemetry::span("cpu", || {
+            format!("pipeline_run {}", self.hierarchy.l2().label())
+        });
         for inst in trace.take(max_insts as usize) {
             self.step(&inst);
         }
-        self.stats()
+        let stats = self.stats();
+        if ac_telemetry::enabled() {
+            self.hierarchy.l2().flush_telemetry();
+            ac_telemetry::counter_add("pipeline_instructions_total", stats.instructions);
+            ac_telemetry::counter_add("pipeline_cycles_total", stats.cycles);
+        }
+        stats
     }
 
     /// Statistics snapshot.

@@ -434,6 +434,7 @@ where
                 // Resume: trust the journal if its value still decodes.
                 if let Some(v) = completed.get(&key) {
                     if let Ok(r) = serde_json::from_value::<R>(v.clone()) {
+                        ac_telemetry::counter_add_labeled("cells_total", "resumed", 1);
                         *slot = Some(CellReport {
                             key,
                             attempts: 0,
@@ -447,7 +448,7 @@ where
                 if let Some(j) = journal {
                     let entry = entry_of(&report);
                     if let Err(e) = lock(j).append(entry) {
-                        eprintln!("warning: could not checkpoint cell {key}: {e}");
+                        ac_telemetry::warn!("could not checkpoint cell {key}: {e}");
                     }
                 }
                 *slot = Some(report);
@@ -472,8 +473,42 @@ where
     })
 }
 
-/// Runs one cell's attempt loop on detached worker threads.
+/// Runs one cell's attempt loop, recording per-cell telemetry (a `cell`
+/// span, wall-time histogram, outcome and retry counters).
 fn supervise_cell<T, R, F>(
+    key: &str,
+    cell: &T,
+    cfg: &SupervisorConfig,
+    f: &Arc<F>,
+) -> CellReport<R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> Result<R, ExperimentError> + Send + Sync + 'static,
+{
+    let _span = ac_telemetry::span("cell", || format!("cell {key}"));
+    let started = std::time::Instant::now();
+    let report = supervise_cell_attempts(key, cell, cfg, f);
+    if ac_telemetry::enabled() {
+        ac_telemetry::histogram_record(
+            "cell_wall_time_us",
+            started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        );
+        let status = match &report.outcome {
+            CellOutcome::Done(_) | CellOutcome::Resumed(_) => "ok",
+            CellOutcome::Failed(_) => "failed",
+            CellOutcome::TimedOut(_) => "timed_out",
+        };
+        ac_telemetry::counter_add_labeled("cells_total", status, 1);
+        if report.attempts > 1 {
+            ac_telemetry::counter_add("cell_retries_total", u64::from(report.attempts - 1));
+        }
+    }
+    report
+}
+
+/// The raw attempt loop on detached worker threads.
+fn supervise_cell_attempts<T, R, F>(
     key: &str,
     cell: &T,
     cfg: &SupervisorConfig,

@@ -120,6 +120,9 @@ pub fn run_functional_l2(
     l2_geom: (usize, usize, usize),
     insts: u64,
 ) -> Result<MpkiResult, ExperimentError> {
+    let _span = ac_telemetry::span("run", || {
+        format!("functional {} x {}", bench.name, kind.label())
+    });
     let geom = Geometry::new(l2_geom.0, l2_geom.1, l2_geom.2)?;
     let l2 = kind.build(geom);
     let config = CpuConfig::paper_default();
@@ -160,6 +163,9 @@ pub fn run_timed_with_geom(
     geom: Geometry,
     insts: u64,
 ) -> RunStats {
+    let _span = ac_telemetry::span("run", || {
+        format!("timed {} x {}", bench.name, kind.label())
+    });
     let l2 = kind.build(geom);
     let mut pipe = Pipeline::new(config, l2);
     pipe.run(bench.spec.generator(), insts)

@@ -1,0 +1,279 @@
+//! Exporters: Prometheus text exposition, Chrome `trace_event` JSON,
+//! and the per-run summary document.
+
+use crate::json::{number, push_str_escaped};
+use crate::metrics::HistogramSnapshot;
+use crate::Telemetry;
+use std::fmt::Write;
+
+/// Reduces a metric name to the Prometheus charset
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`) and prefixes the workspace namespace.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("ac_");
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a Prometheus label value.
+fn prom_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+impl Telemetry {
+    /// Prometheus text exposition of every counter, gauge and histogram.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, by_label) in self.counters() {
+            let pname = prom_name(name);
+            let _ = writeln!(out, "# TYPE {pname} counter");
+            for (label, value) in by_label {
+                if label.is_empty() {
+                    let _ = writeln!(out, "{pname} {value}");
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{pname}{{label=\"{}\"}} {value}",
+                        prom_label_value(&label)
+                    );
+                }
+            }
+        }
+        for (name, by_label) in self.gauges() {
+            let pname = prom_name(name);
+            let _ = writeln!(out, "# TYPE {pname} gauge");
+            for (label, value) in by_label {
+                if label.is_empty() {
+                    let _ = writeln!(out, "{pname} {}", number(value));
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{pname}{{label=\"{}\"}} {}",
+                        prom_label_value(&label),
+                        number(value)
+                    );
+                }
+            }
+        }
+        for (name, h) in self.histograms() {
+            let pname = prom_name(name);
+            let _ = writeln!(out, "# TYPE {pname} histogram");
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                let _ = writeln!(
+                    out,
+                    "{pname}_bucket{{le=\"{}\"}} {cumulative}",
+                    HistogramSnapshot::upper_bound(i)
+                );
+            }
+            let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{pname}_sum {}", h.sum);
+            let _ = writeln!(out, "{pname}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON (load via `chrome://tracing` or
+    /// <https://ui.perfetto.dev>): one complete (`"ph":"X"`) event per
+    /// recorded span.
+    pub fn chrome_trace(&self) -> String {
+        let pid = std::process::id();
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, s) in self.spans().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_str_escaped(&mut out, &s.name);
+            out.push_str(",\"cat\":");
+            push_str_escaped(&mut out, s.cat);
+            let _ = write!(
+                out,
+                ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{}}}",
+                s.ts_us, s.dur_us, s.tid
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The per-run summary document (`telemetry-summary.json`):
+    /// counters, gauges, histogram digests, span totals and event-stream
+    /// statistics.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{");
+
+        out.push_str("\"counters\":{");
+        let counters = self.counters();
+        for (i, (name, by_label)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_escaped(&mut out, name);
+            out.push_str(":{");
+            for (j, (label, value)) in by_label.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_str_escaped(&mut out, label);
+                let _ = write!(out, ":{value}");
+            }
+            out.push('}');
+        }
+        out.push_str("},");
+
+        out.push_str("\"gauges\":{");
+        let gauges = self.gauges();
+        for (i, (name, by_label)) in gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_escaped(&mut out, name);
+            out.push_str(":{");
+            for (j, (label, value)) in by_label.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_str_escaped(&mut out, label);
+                let _ = write!(out, ":{}", number(*value));
+            }
+            out.push('}');
+        }
+        out.push_str("},");
+
+        out.push_str("\"histograms\":{");
+        let histograms = self.histograms();
+        for (i, (name, h)) in histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_escaped(&mut out, name);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{}}}",
+                h.count,
+                h.sum,
+                h.max,
+                number(h.mean())
+            );
+        }
+        out.push_str("},");
+
+        out.push_str("\"spans\":{");
+        for (i, (name, cat, count, total_us)) in self.span_totals().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_escaped(&mut out, name);
+            out.push_str(":{\"cat\":");
+            push_str_escaped(&mut out, cat);
+            let _ = write!(out, ",\"count\":{count},\"total_us\":{total_us}}}");
+        }
+        out.push_str("},");
+
+        let [e, w, inf, d] = self.log_counts();
+        let _ = write!(
+            out,
+            "\"log\":{{\"error\":{e},\"warn\":{w},\"info\":{inf},\"debug\":{d}}},"
+        );
+
+        let _ = write!(
+            out,
+            "\"events\":{{\"seen\":{},\"recorded\":{},\"sample_rate\":{}}}",
+            self.events_seen(),
+            self.events_recorded(),
+            self.config().sample_rate
+        );
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Comp, DecisionEvent, EvictionCase, Recorder, SpanRecord, TelemetryConfig};
+
+    fn hub_with_data() -> Telemetry {
+        let t = Telemetry::new(TelemetryConfig::default());
+        t.counter_add("misses_total", "LRU (512KB)", 42);
+        t.counter_add("cells_total", "ok", 3);
+        t.gauge_set("sample_rate", "", 1.0);
+        t.histogram_record("cell_wall_time_us", 700);
+        t.histogram_record("cell_wall_time_us", 1500);
+        t.span_record(SpanRecord {
+            name: "fig03".into(),
+            cat: "figure",
+            ts_us: 5,
+            dur_us: 100,
+            tid: 7,
+        });
+        t.decision(DecisionEvent::Imitation {
+            set: 1,
+            component: Comp::B,
+            case: EvictionCase::NotInShadow,
+        });
+        t
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = hub_with_data().prometheus();
+        assert!(text.contains("# TYPE ac_misses_total counter"));
+        assert!(text.contains("ac_misses_total{label=\"LRU (512KB)\"} 42"));
+        assert!(text.contains("# TYPE ac_sample_rate gauge"));
+        assert!(text.contains("ac_sample_rate 1"));
+        assert!(text.contains("# TYPE ac_cell_wall_time_us histogram"));
+        assert!(text.contains("ac_cell_wall_time_us_bucket{le=\"1024\"} 1"));
+        assert!(text.contains("ac_cell_wall_time_us_bucket{le=\"2048\"} 2"));
+        assert!(text.contains("ac_cell_wall_time_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("ac_cell_wall_time_us_sum 2200"));
+        assert!(text.contains("ac_cell_wall_time_us_count 2"));
+    }
+
+    #[test]
+    fn prom_names_are_sanitised() {
+        assert_eq!(prom_name("cell wall-time.us"), "ac_cell_wall_time_us");
+        assert_eq!(prom_name("9lives"), "ac__9lives");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let text = hub_with_data().chrome_trace();
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.contains("\"name\":\"fig03\""));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.ends_with("]}"));
+    }
+
+    #[test]
+    fn summary_mentions_every_section() {
+        let text = hub_with_data().summary_json();
+        for key in [
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"spans\"",
+            "\"log\"",
+            "\"events\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        assert!(text.contains("\"recorded\":1"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Minimal JSON emission helpers (this crate is dependency-free, so it
+//! writes its own JSON rather than pulling in a serializer).
+
+use std::fmt::Write;
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+pub(crate) fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON number from an `f64`, defaulting to `0` for non-finite values
+/// (JSON has no NaN/Inf).
+pub(crate) fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_escaped(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_zero() {
+        assert_eq!(number(f64::NAN), "0");
+        assert_eq!(number(1.5), "1.5");
+    }
+}

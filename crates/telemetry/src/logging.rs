@@ -1,0 +1,145 @@
+//! Leveled stderr logging, gated by the `AC_LOG` environment variable.
+//!
+//! The macros keep the workspace's existing stderr conventions: `error:`
+//! and `warning:` prefixes, bare progress lines at info level. Messages
+//! never go to stdout, so machine-readable CLI output stays clean.
+
+use std::sync::OnceLock;
+
+/// A log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Fatal or unrecoverable conditions (always printed).
+    Error = 0,
+    /// Degraded-but-continuing conditions.
+    Warn = 1,
+    /// Progress reporting (the default level).
+    Info = 2,
+    /// Extra diagnostics.
+    Debug = 3,
+}
+
+impl Level {
+    /// Stable lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// The stderr line prefix for this level (info lines stay bare to
+    /// preserve the pre-telemetry progress-line format).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Level::Error => "error: ",
+            Level::Warn => "warning: ",
+            Level::Info => "",
+            Level::Debug => "debug: ",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "e" => Some(Level::Error),
+            "warn" | "warning" | "w" => Some(Level::Warn),
+            "info" | "i" => Some(Level::Info),
+            "debug" | "d" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+static MAX_LEVEL: OnceLock<Level> = OnceLock::new();
+
+/// The most verbose level that prints, from `AC_LOG` (default
+/// [`Level::Info`]). Read once per process.
+pub fn max_level() -> Level {
+    *MAX_LEVEL.get_or_init(|| {
+        std::env::var("AC_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Info)
+    })
+}
+
+/// Writes one log line to stderr if `level` is enabled, and counts it on
+/// the installed recorder. Prefer the [`crate::error!`]/[`crate::warn!`]/
+/// [`crate::info!`]/[`crate::debug!`] macros, which build the
+/// `format_args` lazily.
+pub fn log_stderr(level: Level, args: std::fmt::Arguments<'_>) {
+    if level > max_level() {
+        return;
+    }
+    if let Some(r) = crate::recorder() {
+        r.log_emitted(level);
+    }
+    eprintln!("{}{args}", level.prefix());
+}
+
+/// Logs at [`Level::Error`] (always printed).
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log_stderr($crate::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`] (printed unless `AC_LOG=error`).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log_stderr($crate::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`] — progress lines (the default level).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log_stderr($crate::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`] (printed only with `AC_LOG=debug`).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log_stderr($crate::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("d"), Some(Level::Debug));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn prefixes_match_legacy_format() {
+        assert_eq!(Level::Warn.prefix(), "warning: ");
+        assert_eq!(Level::Info.prefix(), "");
+    }
+
+    #[test]
+    fn macros_compile_and_run() {
+        // Only levels <= max print; either way this must not panic.
+        crate::debug!("debug line {}", 1);
+        crate::info!("info line");
+    }
+}

@@ -1,0 +1,128 @@
+//! Counter/gauge/histogram primitives.
+
+/// Number of log2 buckets a [`Histogram`] keeps (values up to 2^63,
+/// plus a bucket for 0).
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram: bucket `i` counts values `v` with
+/// `2^(i-1) < v <= 2^i` (bucket 0 counts zeros). Fixed-size, allocation
+/// free after construction.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub(crate) buckets: [u64; LOG2_BUCKETS],
+    pub(crate) count: u64,
+    pub(crate) sum: u64,
+    pub(crate) max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index for `value`.
+    pub(crate) fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            // ceil(log2(value)) + 1 clamped into the table:
+            // 1 -> bucket 1 (le 1), 2 -> 2 (le 2), 3..4 -> 3 (le 4), ...
+            (64 - (value - 1).leading_zeros() as usize + 1).min(LOG2_BUCKETS - 1)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// An immutable snapshot for exporters.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets,
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`LOG2_BUCKETS`]).
+    pub buckets: [u64; LOG2_BUCKETS],
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The upper bound of bucket `i` (`0` for bucket 0, else `2^(i-1)`).
+    pub fn upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1).min(63)
+        }
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 3);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(5), 4);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), LOG2_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_max() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 3, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1004);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 251.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_bounds() {
+        assert_eq!(HistogramSnapshot::upper_bound(0), 0);
+        assert_eq!(HistogramSnapshot::upper_bound(1), 1);
+        assert_eq!(HistogramSnapshot::upper_bound(11), 1024);
+    }
+}

@@ -1,0 +1,126 @@
+//! Wall-clock spans that become Chrome `trace_event` timeline entries.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the process telemetry epoch (the first call to any
+/// timing helper in this crate).
+pub fn now_us() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_micros() as u64
+}
+
+/// A completed span: a named interval on some thread's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. the figure or sweep-cell key).
+    pub name: String,
+    /// Category, used to group spans in the trace viewer and in
+    /// summaries (`"figure"`, `"cell"`, `"run"`, ...).
+    pub cat: &'static str,
+    /// Start, in µs since the telemetry epoch.
+    pub ts_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// An opaque thread identifier (stable within the process).
+    pub tid: u64,
+}
+
+/// An open span; records itself through the global recorder on drop.
+///
+/// Construct through [`crate::span`] — when no recorder is installed the
+/// guard is inert and carries no allocation.
+#[derive(Debug)]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    name: String,
+    cat: &'static str,
+    ts_us: u64,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn disabled() -> Span {
+        Span { live: None }
+    }
+
+    pub(crate) fn live(cat: &'static str, name: String) -> Span {
+        Span {
+            live: Some(LiveSpan {
+                name,
+                cat,
+                ts_us: now_us(),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Whether this span will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// Closes the span early (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let record = SpanRecord {
+                name: live.name,
+                cat: live.cat,
+                ts_us: live.ts_us,
+                dur_us: live.start.elapsed().as_micros() as u64,
+                tid: thread_id(),
+            };
+            if let Some(r) = crate::recorder() {
+                r.span_record(record);
+            }
+        }
+    }
+}
+
+/// A stable per-thread identifier derived from `std::thread::ThreadId`.
+fn thread_id() -> u64 {
+    // ThreadId has no stable integer accessor; its Debug form
+    // (`ThreadId(N)`) does contain one. Fall back to 0 if the format
+    // ever changes — the trace merely loses per-thread lanes.
+    let s = format!("{:?}", std::thread::current().id());
+    s.bytes()
+        .filter(u8::is_ascii_digit)
+        .fold(0u64, |acc, d| acc.wrapping_mul(10) + u64::from(d - b'0'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let s = Span::disabled();
+        assert!(!s.is_recording());
+        s.finish();
+    }
+
+    #[test]
+    fn thread_ids_are_nonzero_and_stable() {
+        let a = thread_id();
+        let b = thread_id();
+        assert_eq!(a, b);
+        assert!(a > 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Guards the disabled-telemetry fast path: with no recorder installed,
+//! every instrumentation entry point must complete without touching the
+//! allocator. This is what keeps the default `cachesim` run at baseline
+//! speed — the CI "disabled-telemetry smoke check".
+//!
+//! This test binary must never install a global recorder, and must stay
+//! the only test in its file so no sibling thread allocates while the
+//! counting window is open.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_instrumentation_is_allocation_free() {
+    assert!(!ac_telemetry::enabled(), "this test must run uninstalled");
+
+    // Warm anything lazily initialised outside the instrumented path.
+    ac_telemetry::now_us();
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u32 {
+        ac_telemetry::counter_add("noop_counter_total", 1);
+        ac_telemetry::counter_add_labeled("noop_labeled_total", "label", 2);
+        ac_telemetry::gauge_set("noop_gauge", 1.0);
+        ac_telemetry::histogram_record("noop_hist_us", u64::from(i));
+        ac_telemetry::decision(|| ac_telemetry::DecisionEvent::Imitation {
+            set: i,
+            component: ac_telemetry::Comp::A,
+            case: ac_telemetry::EvictionCase::SameVictim,
+        });
+        let span = ac_telemetry::span("noop", || format!("span {i}"));
+        drop(span);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-path instrumentation must not allocate"
+    );
+}

@@ -170,7 +170,14 @@ fn write_records<W: Write, I: IntoIterator<Item = Inst>>(
 /// Version-2 headers declare a record count; it is validated against the
 /// actual remaining input size *before* pre-allocating, so a corrupt or
 /// hostile header yields [`TraceError::BadCount`] instead of an OOM/abort.
-pub fn read_binary<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceError> {
+pub fn read_binary<R: Read>(r: R) -> Result<Vec<Inst>, TraceError> {
+    let _span = ac_telemetry::span("trace", || "trace_decode".to_string());
+    let out = read_binary_inner(r)?;
+    ac_telemetry::counter_add("trace_insts_decoded_total", out.len() as u64);
+    Ok(out)
+}
+
+fn read_binary_inner<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceError> {
     let mut header = [0u8; 5];
     r.read_exact(&mut header)?;
     if &header[..4] != MAGIC {
