@@ -3,8 +3,8 @@
 //! updates and Algorithm-1 victim search).
 
 use adaptive_cache::{
-    AdaptiveCache, AdaptiveConfig, HistoryKind, MissHistory, MultiAdaptiveCache, MultiConfig,
-    SbarCache, SbarConfig,
+    AdaptiveCache, AdaptiveConfig, DipCache, DipConfig, HistoryKind, MissHistory,
+    MultiAdaptiveCache, MultiConfig, SbarCache, SbarConfig,
 };
 use cache_sim::{BlockAddr, Cache, CacheModel, Geometry, PolicyKind, TagMode};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
@@ -54,6 +54,14 @@ fn bench_organisations(c: &mut Criterion) {
     }
     group.bench_function("sbar", |b| {
         let mut cache = SbarCache::new(geom, SbarConfig::paper_default(), 7);
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(cache.access(a, false));
+            }
+        });
+    });
+    group.bench_function("dip", |b| {
+        let mut cache = DipCache::new(geom, DipConfig::paper_default(), 7);
         b.iter(|| {
             for &a in &addrs {
                 black_box(cache.access(a, false));

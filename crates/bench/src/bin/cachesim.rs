@@ -311,6 +311,55 @@ fn run_sweep_request(req: SweepRequest, config_path: &Path) -> i32 {
     report.exit_code()
 }
 
+/// `cachesim bench [--quick] [--out <path>]`: measure access throughput
+/// per organisation (against the seed-layout baselines where they exist)
+/// and write `results/bench_access.json`.
+fn run_bench_subcommand(rest: &[String]) {
+    let mut quick = false;
+    let mut out = String::from("results/bench_access.json");
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                match rest.get(i) {
+                    Some(p) => out = p.clone(),
+                    None => die_invalid("flag `--out` requires a path operand"),
+                }
+            }
+            other => {
+                if let Some(p) = other.strip_prefix("--out=") {
+                    out = p.to_string();
+                } else {
+                    die_invalid(&format!("unknown bench flag `{other}`"));
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let report = bench::access_bench::run(quick);
+    bench::access_bench::print_report(&report);
+    if ac_telemetry::enabled() {
+        for org in &report.organisations {
+            ac_telemetry::gauge_set_labeled(
+                "bench.accesses_per_sec",
+                &org.name,
+                org.accesses_per_sec,
+            );
+        }
+    }
+    let path = Path::new(&out);
+    match bench::access_bench::write_report(&report, path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cachesim: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Err(e) = bench::init_telemetry(&mut args) {
@@ -321,9 +370,14 @@ fn main() {
         println!("{}", to_json(&template()));
         return;
     }
+    if arg == "bench" {
+        run_bench_subcommand(&args[1..]);
+        bench::finish_telemetry();
+        return;
+    }
     if arg.is_empty() || arg.starts_with("--") {
         die_invalid(
-            "usage: cachesim [--telemetry <dir> | --metrics] <run.json> | cachesim --template",
+            "usage: cachesim [--telemetry <dir> | --metrics] <run.json> | cachesim --template | cachesim bench [--quick] [--out <path>]",
         );
     }
 

@@ -1,0 +1,220 @@
+//! Hot-path cost decomposition for the simulator's per-access loop.
+//!
+//! Times each layer of the access path in isolation (stream decode, tag
+//! match, metadata update, victim selection, full accesses) so throughput
+//! work targets the layer that actually dominates. Prints ns/op, best of
+//! several repetitions to reject scheduler noise on shared vCPUs.
+
+use cache_sim::{
+    Address, BlockAddr, Cache, CacheModel, Geometry, MetaTable, PolicyKind, TagArray, TagMode,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 10_000;
+const REPS: usize = 200;
+
+fn addresses(n: usize) -> Vec<BlockAddr> {
+    // Selectable via AC_STREAM so seed-vs-new comparisons can probe the
+    // regimes separately: "hot" (hit-heavy hot/scan mix, the paper's
+    // Section 2.1 LRU-hostile shape), "random" (uniform over 2.5x the
+    // cache, ~30% miss), "scan" (streaming, ~100% miss).
+    let kind = std::env::var("AC_STREAM").unwrap_or_else(|_| "hot".into());
+    (0..n as u64)
+        .map(|i| match kind.as_str() {
+            "random" => {
+                // SplitMix64-style scramble for a stateless uniform stream.
+                let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 31;
+                BlockAddr::new(x % 20_000)
+            }
+            "scan" => BlockAddr::new(i % 65_536),
+            _ => {
+                let group = i / 4;
+                if i % 4 < 3 {
+                    BlockAddr::new(group % 768)
+                } else {
+                    BlockAddr::new(768 + group % 16_384)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Best-of-REPS wall time of `f` over `N` operations, in ns/op.
+fn best<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos() as f64 / N as f64);
+    }
+    best
+}
+
+/// Isolated for disassembly: `objdump -d ... | awk '/run_lru_loop/,/ret/'`.
+#[inline(never)]
+fn run_lru_loop(cache: &mut Cache<cache_sim::Lru>, addrs: &[BlockAddr]) -> u64 {
+    let mut hits = 0u64;
+    for &a in addrs {
+        hits += u64::from(cache.access(a, false).hit);
+    }
+    hits
+}
+
+fn main() {
+    let geom = Geometry::new(512 * 1024, 64, 8).unwrap();
+    let addrs = addresses(N);
+
+    let stream = best(|| {
+        let mut acc = 0u64;
+        for &a in &addrs {
+            acc ^= a.raw();
+        }
+        acc
+    });
+    println!("stream xor          {stream:6.2} ns/op");
+
+    let decompose = best(|| {
+        let mut acc = 0u64;
+        for &a in &addrs {
+            acc ^= geom.tag(a) + geom.set_index(a) as u64;
+        }
+        acc
+    });
+    println!("locate              {decompose:6.2} ns/op");
+
+    // Read-only find over a pre-filled directory.
+    let mut warm = TagArray::new(geom, TagMode::Full, PolicyKind::Lru, 7);
+    for &a in &addrs {
+        warm.access(a);
+    }
+    let dir = warm.directory();
+    let find = best(|| {
+        let mut n = 0u64;
+        for &a in &addrs {
+            let (set, stored) = dir.locate(a);
+            n += dir.find(set, stored).map_or(0, |w| w as u64 + 1);
+        }
+        n
+    });
+    println!("locate+find         {find:6.2} ns/op");
+
+    // Metadata hit update over every set.
+    let mut meta = MetaTable::new(PolicyKind::Lru, geom.num_sets(), geom.associativity());
+    let on_hit = best(|| {
+        for &a in &addrs {
+            let set = geom.set_index(a);
+            meta.on_hit(set, (a.raw() % 8) as usize);
+        }
+    });
+    println!("meta on_hit         {on_hit:6.2} ns/op");
+
+    // Victim selection over every set (sets are warm, all ways touched).
+    let mut rng = SmallRng::seed_from_u64(1);
+    let victim = best(|| {
+        let mut n = 0usize;
+        for &a in &addrs {
+            let set = geom.set_index(a);
+            n += meta.victim(set, &mut rng);
+        }
+        n
+    });
+    println!("meta victim         {victim:6.2} ns/op");
+
+    for policy in [PolicyKind::Lru, PolicyKind::LFU5] {
+        let mut tags = TagArray::new(geom, TagMode::Full, policy, 7);
+        let t = best(|| {
+            for &a in &addrs {
+                black_box(tags.access(a));
+            }
+        });
+        let misses = tags.stats().misses;
+        println!(
+            "tag_array {policy:<9} {t:6.2} ns/op   ({:.0}% miss)",
+            100.0 * misses as f64 / tags.stats().accesses() as f64
+        );
+    }
+
+    for policy in [PolicyKind::Lru, PolicyKind::LFU5] {
+        let mut cache = Cache::new(geom, policy, 7);
+        let t = best(|| {
+            for &a in &addrs {
+                black_box(cache.access(a, false));
+            }
+        });
+        println!("cache     {policy:<9} {t:6.2} ns/op");
+    }
+
+    // Concrete (statically dispatched) policies.
+    {
+        let mut tags = TagArray::new(geom, TagMode::Full, cache_sim::Lru, 7);
+        let t = best(|| {
+            for &a in &addrs {
+                black_box(tags.access(a));
+            }
+        });
+        println!("tag_array Lru(mono) {t:6.2} ns/op");
+        let mut cache = Cache::new(geom, cache_sim::Lru, 7);
+        let t = best(|| {
+            for &a in &addrs {
+                black_box(cache.access(a, false));
+            }
+        });
+        println!("cache     Lru(mono) {t:6.2} ns/op");
+        let mut cache = Cache::new(geom, cache_sim::Lru, 7);
+        let t = best(|| run_lru_loop(&mut cache, &addrs));
+        println!("cache     Lru(loop) {t:6.2} ns/op");
+        let mut cache = Cache::new(geom, cache_sim::Lfu::paper_default(), 7);
+        let t = best(|| {
+            for &a in &addrs {
+                black_box(cache.access(a, false));
+            }
+        });
+        println!("cache     Lfu(mono) {t:6.2} ns/op");
+    }
+
+    let mut adaptive = adaptive_cache::AdaptiveCache::new(
+        geom,
+        adaptive_cache::AdaptiveConfig::paper_default(),
+        7,
+    );
+    let t = best(|| {
+        for &a in &addrs {
+            black_box(adaptive.access(a, false));
+        }
+    });
+    println!("adaptive  partial8  {t:6.2} ns/op");
+
+    let mut adaptive = adaptive_cache::AdaptiveCache::new(
+        geom,
+        adaptive_cache::AdaptiveConfig::paper_full_tags(),
+        7,
+    );
+    let t = best(|| {
+        for &a in &addrs {
+            black_box(adaptive.access(a, false));
+        }
+    });
+    println!("adaptive  fulltags  {t:6.2} ns/op");
+
+    let mut adaptive = adaptive_cache::AdaptiveCache::with_custom_policies(
+        geom,
+        cache_sim::Lru,
+        cache_sim::Lfu::paper_default(),
+        TagMode::Full,
+        adaptive_cache::HistoryKind::paper_default(),
+        7,
+    );
+    let t = best(|| {
+        for &a in &addrs {
+            black_box(adaptive.access(a, false));
+        }
+    });
+    println!("adaptive  mono      {t:6.2} ns/op");
+
+    // Keep `Address` linked in so the import list stays stable.
+    black_box(Address::new(0));
+}

@@ -4,6 +4,9 @@
 use experiments::Table;
 use std::path::{Path, PathBuf};
 
+pub mod access_bench;
+pub mod seed_baseline;
+
 /// Prints a table and writes `results/<stem>.{csv,json}`.
 pub fn emit(table: &Table, stem: &str) {
     println!("{table}");
@@ -34,7 +37,9 @@ pub fn timed<T>(what: &str, f: impl FnOnce() -> T) -> T {
 /// directory; `AC_TELEMETRY_SAMPLE` still controls event sampling.
 /// Returns the hub when telemetry ends up enabled, `Err` on a malformed
 /// flag (missing directory operand).
-pub fn init_telemetry(args: &mut Vec<String>) -> Result<Option<&'static ac_telemetry::Telemetry>, String> {
+pub fn init_telemetry(
+    args: &mut Vec<String>,
+) -> Result<Option<&'static ac_telemetry::Telemetry>, String> {
     let mut dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {

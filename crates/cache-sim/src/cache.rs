@@ -92,9 +92,12 @@ impl<P: ReplacementPolicy> Cache<P> {
 }
 
 impl<P: ReplacementPolicy> CacheModel for Cache<P> {
+    #[inline(always)]
     fn access(&mut self, block: BlockAddr, write: bool) -> AccessOutcome {
-        let (set, _) = self.tags.directory().locate(block);
-        let acc = self.tags.access(block);
+        // Decompose the address exactly once; the tag array and the dirty
+        // bookkeeping below reuse the same (set, stored) pair.
+        let (set, stored) = self.tags.directory().locate(block);
+        let acc = self.tags.access_at(set, stored);
         self.stats.record(acc.hit, write);
 
         let eviction = acc.evicted.map(|old| {
@@ -114,7 +117,6 @@ impl<P: ReplacementPolicy> CacheModel for Cache<P> {
 
         if write {
             // `acc.way` is the hit way or the fill way.
-            let (set, _) = self.tags.directory().locate(block);
             self.mark_dirty(set, acc.way);
         }
 

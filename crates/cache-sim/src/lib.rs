@@ -55,4 +55,4 @@ pub use model::CacheModel;
 pub use partial::{StoredTag, TagMode};
 pub use policy::{Fifo, Lfu, Lru, Mru, PolicyKind, Rand, ReplacementPolicy};
 pub use stats::CacheStats;
-pub use tag_array::{Directory, TagAccess, TagArray, Way};
+pub use tag_array::{Directory, TagAccess, TagArray, TagStats, Way, MAX_ASSOC};

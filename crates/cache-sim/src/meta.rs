@@ -3,6 +3,19 @@
 use crate::policy::ReplacementPolicy;
 use serde::{Deserialize, Serialize};
 
+/// Sets of up to this many ways keep their metadata words inline in the
+/// [`SetMeta`] struct itself, so a [`MetaTable`]'s `Vec<SetMeta>` is one
+/// contiguous allocation with no per-set pointer chase on the access path.
+const INLINE_WAYS: usize = 8;
+
+/// Per-way metadata words: inline for typical associativities, heap-spilled
+/// beyond [`INLINE_WAYS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Words {
+    Inline { buf: [u64; INLINE_WAYS], len: u8 },
+    Spill(Vec<u64>),
+}
+
 /// Replacement metadata for one cache set: one 64-bit word per way plus a
 /// per-set access tick.
 ///
@@ -10,37 +23,60 @@ use serde::{Deserialize, Serialize};
 /// (recency timestamp for LRU/MRU, insertion timestamp for FIFO, a packed
 /// (count, recency) pair for LFU). The tick is advanced by the policy
 /// callbacks and provides a per-set logical clock.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[repr(align(64))] // cache-line aligned: a set's metadata spans exactly
+// two lines in a `Vec<SetMeta>` instead of straddling up to three.
 pub struct SetMeta {
-    words: Vec<u64>,
+    words: Words,
     tick: u64,
 }
 
 impl SetMeta {
     /// Creates metadata for a set with `ways` ways, all zeroed.
     pub fn new(ways: usize) -> Self {
-        SetMeta {
-            words: vec![0; ways],
-            tick: 0,
+        let words = if ways <= INLINE_WAYS {
+            Words::Inline {
+                buf: [0; INLINE_WAYS],
+                len: ways as u8,
+            }
+        } else {
+            Words::Spill(vec![0; ways])
+        };
+        SetMeta { words, tick: 0 }
+    }
+
+    #[inline]
+    fn slice(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline { buf, len } => &buf[..*len as usize],
+            Words::Spill(v) => v,
+        }
+    }
+
+    #[inline]
+    fn slice_mut(&mut self) -> &mut [u64] {
+        match &mut self.words {
+            Words::Inline { buf, len } => &mut buf[..*len as usize],
+            Words::Spill(v) => v,
         }
     }
 
     /// Number of ways covered.
     #[inline]
     pub fn ways(&self) -> usize {
-        self.words.len()
+        self.slice().len()
     }
 
     /// The per-way metadata word.
     #[inline]
     pub fn word(&self, way: usize) -> u64 {
-        self.words[way]
+        self.slice()[way]
     }
 
     /// Sets the per-way metadata word.
     #[inline]
     pub fn set_word(&mut self, way: usize, value: u64) {
-        self.words[way] = value;
+        self.slice_mut()[way] = value;
     }
 
     /// Advances and returns the per-set logical clock.
@@ -58,7 +94,34 @@ impl SetMeta {
 
     /// Iterates over `(way, word)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.words.iter().copied().enumerate()
+        self.slice().iter().copied().enumerate()
+    }
+
+    /// All per-way words as a slice (for the fixed-width victim scans in
+    /// `policy.rs`).
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        self.slice()
+    }
+}
+
+// The words are serialised as a plain sequence regardless of how they are
+// stored, so the wire form is independent of `INLINE_WAYS`.
+impl Serialize for SetMeta {
+    fn to_value(&self) -> serde::Value {
+        (self.slice().to_vec(), self.tick).to_value()
+    }
+}
+
+impl Deserialize for SetMeta {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let (words, tick): (Vec<u64>, u64) = Deserialize::from_value(v)?;
+        let mut meta = SetMeta::new(words.len());
+        for (way, value) in words.into_iter().enumerate() {
+            meta.set_word(way, value);
+        }
+        meta.tick = tick;
+        Ok(meta)
     }
 }
 
@@ -103,9 +166,12 @@ impl<P: ReplacementPolicy> MetaTable<P> {
 
     /// Asks the policy to choose a victim way in `set`.
     ///
-    /// Must only be called when every way in the set is valid.
+    /// Must only be called when every way in the set is valid. Takes the
+    /// concrete simulation RNG ([`rand::rngs::SmallRng`]) rather than
+    /// `&mut dyn RngCore` so the per-access policy call monomorphises and
+    /// inlines instead of double-dispatching.
     #[inline]
-    pub fn victim(&self, set: usize, rng: &mut dyn rand::RngCore) -> usize {
+    pub fn victim(&self, set: usize, rng: &mut rand::rngs::SmallRng) -> usize {
         self.policy.victim(&self.sets[set], rng)
     }
 

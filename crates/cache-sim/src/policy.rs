@@ -29,13 +29,14 @@
 //!     fn on_fill(&self, set: &mut SetMeta, way: usize) {
 //!         set.set_word(way, 0);
 //!     }
-//!     fn victim(&self, set: &SetMeta, _rng: &mut dyn rand::RngCore) -> usize {
+//!     fn victim(&self, set: &SetMeta, _rng: &mut rand::rngs::SmallRng) -> usize {
 //!         set.iter().min_by_key(|&(_, w)| w).map(|(i, _)| i).unwrap()
 //!     }
 //! }
 //! ```
 
 use crate::meta::SetMeta;
+use rand::rngs::SmallRng;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -67,16 +68,58 @@ pub trait ReplacementPolicy: fmt::Debug + Send + Sync {
 
     /// Chooses a victim way. Only called when every way in the set holds a
     /// valid block.
-    fn victim(&self, set: &SetMeta, rng: &mut dyn RngCore) -> usize;
+    fn victim(&self, set: &SetMeta, rng: &mut SmallRng) -> usize;
 }
 
-#[inline]
+/// First (lowest-index) way whose word is minimal, matching
+/// `Iterator::min_by_key` tie semantics.
+#[inline(always)]
 fn argmin(set: &SetMeta) -> usize {
+    let words = set.words();
+    if let Ok(a) = <&[u64; 8]>::try_from(words) {
+        // Tree reduction: 3 select levels instead of a 7-deep chain of
+        // data-dependent (mispredict-prone) branches. `lt` is strict, so
+        // the earlier operand wins ties at every level — identical to a
+        // linear first-min scan.
+        #[inline]
+        fn min2(x: (u64, usize), y: (u64, usize)) -> (u64, usize) {
+            if y.0 < x.0 {
+                y
+            } else {
+                x
+            }
+        }
+        let m01 = min2((a[0], 0), (a[1], 1));
+        let m23 = min2((a[2], 2), (a[3], 3));
+        let m45 = min2((a[4], 4), (a[5], 5));
+        let m67 = min2((a[6], 6), (a[7], 7));
+        return min2(min2(m01, m23), min2(m45, m67)).1;
+    }
     set.iter().min_by_key(|&(_, w)| w).map(|(i, _)| i).unwrap()
 }
 
-#[inline]
+/// Last (highest-index) way whose word is maximal, matching
+/// `Iterator::max_by_key` tie semantics.
+#[inline(always)]
 fn argmax(set: &SetMeta) -> usize {
+    let words = set.words();
+    if let Ok(a) = <&[u64; 8]>::try_from(words) {
+        // `ge` is non-strict, so the later operand wins ties at every
+        // level — identical to a linear last-max scan.
+        #[inline]
+        fn max2(x: (u64, usize), y: (u64, usize)) -> (u64, usize) {
+            if y.0 >= x.0 {
+                y
+            } else {
+                x
+            }
+        }
+        let m01 = max2((a[0], 0), (a[1], 1));
+        let m23 = max2((a[2], 2), (a[3], 3));
+        let m45 = max2((a[4], 4), (a[5], 5));
+        let m67 = max2((a[6], 6), (a[7], 7));
+        return max2(max2(m01, m23), max2(m45, m67)).1;
+    }
     set.iter().max_by_key(|&(_, w)| w).map(|(i, _)| i).unwrap()
 }
 
@@ -106,7 +149,7 @@ impl ReplacementPolicy for Lru {
         let t = set.bump_tick();
         set.set_word(way, t);
     }
-    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+    fn victim(&self, set: &SetMeta, _rng: &mut SmallRng) -> usize {
         argmin(set)
     }
 }
@@ -134,7 +177,7 @@ impl ReplacementPolicy for Mru {
         let t = set.bump_tick();
         set.set_word(way, t);
     }
-    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+    fn victim(&self, set: &SetMeta, _rng: &mut SmallRng) -> usize {
         argmax(set)
     }
 }
@@ -158,7 +201,7 @@ impl ReplacementPolicy for Fifo {
         let t = set.bump_tick();
         set.set_word(way, t);
     }
-    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+    fn victim(&self, set: &SetMeta, _rng: &mut SmallRng) -> usize {
         argmin(set)
     }
 }
@@ -228,7 +271,7 @@ impl ReplacementPolicy for Lfu {
         // The filling access itself counts as one use.
         set.set_word(way, (1 << 32) | (t & 0xffff_ffff));
     }
-    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+    fn victim(&self, set: &SetMeta, _rng: &mut SmallRng) -> usize {
         argmin(set)
     }
 }
@@ -248,7 +291,7 @@ impl ReplacementPolicy for Rand {
     }
     fn on_hit(&self, _set: &mut SetMeta, _way: usize) {}
     fn on_fill(&self, _set: &mut SetMeta, _way: usize) {}
-    fn victim(&self, set: &SetMeta, rng: &mut dyn RngCore) -> usize {
+    fn victim(&self, set: &SetMeta, rng: &mut SmallRng) -> usize {
         (rng.next_u64() % set.ways() as u64) as usize
     }
 }
@@ -298,7 +341,7 @@ impl ReplacementPolicy for Bip {
             set.set_word(way, min.saturating_sub(1));
         }
     }
-    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+    fn victim(&self, set: &SetMeta, _rng: &mut SmallRng) -> usize {
         argmin(set)
     }
 }
@@ -357,7 +400,7 @@ impl ReplacementPolicy for TreePlru {
     fn on_fill(&self, set: &mut SetMeta, way: usize) {
         Self::touch(set, way);
     }
-    fn victim(&self, set: &SetMeta, _rng: &mut dyn RngCore) -> usize {
+    fn victim(&self, set: &SetMeta, _rng: &mut SmallRng) -> usize {
         let leaves = Self::leaves(set.ways());
         let bits = set.word(0);
         let mut node = 1usize;
@@ -397,7 +440,7 @@ impl ReplacementPolicy for Nmru {
         let t = set.bump_tick();
         set.set_word(way, t);
     }
-    fn victim(&self, set: &SetMeta, rng: &mut dyn RngCore) -> usize {
+    fn victim(&self, set: &SetMeta, rng: &mut SmallRng) -> usize {
         let ways = set.ways();
         if ways == 1 {
             return 0;
@@ -495,6 +538,10 @@ impl ReplacementPolicy for PolicyKind {
         }
     }
 
+    // The per-access callbacks stay inline so the (perfectly predictable)
+    // variant match merges into the caller's access loop instead of
+    // becoming a call per simulated reference.
+    #[inline]
     fn on_hit(&self, set: &mut SetMeta, way: usize) {
         match self {
             PolicyKind::Lru => Lru.on_hit(set, way),
@@ -508,6 +555,7 @@ impl ReplacementPolicy for PolicyKind {
         }
     }
 
+    #[inline]
     fn on_fill(&self, set: &mut SetMeta, way: usize) {
         match self {
             PolicyKind::Lru => Lru.on_fill(set, way),
@@ -521,7 +569,8 @@ impl ReplacementPolicy for PolicyKind {
         }
     }
 
-    fn victim(&self, set: &SetMeta, rng: &mut dyn RngCore) -> usize {
+    #[inline]
+    fn victim(&self, set: &SetMeta, rng: &mut SmallRng) -> usize {
         match self {
             PolicyKind::Lru => Lru.victim(set, rng),
             PolicyKind::Lfu { counter_bits } => Lfu::new(*counter_bits).victim(set, rng),

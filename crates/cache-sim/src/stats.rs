@@ -30,7 +30,13 @@ impl CacheStats {
     /// Records an access outcome in the counters. Public so that external
     /// [`crate::CacheModel`] implementations (the adaptive organisations)
     /// can share the bookkeeping.
+    #[inline]
     pub fn record(&mut self, hit: bool, write: bool) {
+        // Branch on `hit` rather than computing conditional increments:
+        // callers reach this right after branching on the same hit/miss
+        // outcome, so the branch here is perfectly correlated (near-free),
+        // while the branchless form compiled to a vector read-modify-write
+        // of the whole counter block — a loop-carried dependency chain.
         self.accesses += 1;
         if hit {
             self.hits += 1;

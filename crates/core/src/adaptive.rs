@@ -312,53 +312,37 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> AdaptiveCache<A, B> {
         std::mem::replace(&mut self.samples, vec![ImitationSample::default(); n])
     }
 
-    /// Finds a real-cache way in `set` whose block, reduced to the shadow
-    /// tag mode, is *not* present in the winner's shadow set.
-    fn way_not_in_shadow(&self, set: usize, winner: Component) -> Option<usize> {
-        let mode = self.shadow_tags;
-        let contains = |set: usize, t: cache_sim::StoredTag| match winner {
-            Component::A => self.shadow_a.contains(set, t),
-            Component::B => self.shadow_b.contains(set, t),
-        };
-        self.real.set_ways(set).iter().position(|w| {
-            w.valid && {
-                // Real tags are full; reduce to the shadow representation
-                // before the membership query.
-                let reduced = mode.store(w.tag.raw());
-                !contains(set, reduced)
-            }
-        })
-    }
-
-    /// Finds the real-cache way holding the block the winner's shadow just
-    /// evicted (`evicted` is stored in the shadow's tag mode).
-    fn way_matching_shadow_victim(
-        &self,
-        set: usize,
-        _winner: Component,
-        evicted: Way,
-    ) -> Option<usize> {
-        let mode = self.shadow_tags;
-        self.real
-            .set_ways(set)
-            .iter()
-            .position(|w| w.valid && mode.store(w.tag.raw()) == evicted.tag)
-    }
-
     /// The victim way for a real miss in `set`, per Algorithm 1, tagged
     /// with which branch of the algorithm produced it (for the telemetry
     /// decision-event stream).
+    ///
+    /// The Case-1 ("same victim") and Case-2 ("not in shadow") scans are
+    /// fused over one pass that reduces each valid real tag to the shadow
+    /// representation exactly once ([`Directory::reduced_tags`]); the
+    /// candidates are then derived from bitmasks over the reduced tags,
+    /// preserving the seed implementation's first-matching-way order.
     fn choose_victim(
         &mut self,
         set: usize,
         winner: Component,
         shadow_miss: Option<Way>,
     ) -> (usize, EvictionCase) {
+        let mode = self.shadow_tags;
+        let mut reduced = [cache_sim::StoredTag::default(); cache_sim::MAX_ASSOC];
+        let valid = self.real.reduced_tags(set, mode, &mut reduced);
+
         // Case 1: the imitated policy also missed here and its victim is
         // still in the adaptive cache — evict the very same block.
         if let Some(evicted) = shadow_miss {
-            if let Some(way) = self.way_matching_shadow_victim(set, winner, evicted) {
-                return (way, EvictionCase::SameVictim);
+            let mut same = 0u64;
+            let mut m = valid;
+            while m != 0 {
+                let w = m.trailing_zeros() as usize;
+                m &= m - 1;
+                same |= u64::from(reduced[w] == evicted.tag) << w;
+            }
+            if same != 0 {
+                return (same.trailing_zeros() as usize, EvictionCase::SameVictim);
             }
         }
         // Section 3.3 shortcut: when imitating an LRU component, evict
@@ -374,9 +358,20 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> AdaptiveCache<A, B> {
             }
         }
         // Case 2: make the adaptive contents converge towards the imitated
-        // cache by evicting a block the imitated cache does not hold.
-        if let Some(way) = self.way_not_in_shadow(set, winner) {
-            return (way, EvictionCase::NotInShadow);
+        // cache by evicting a block the imitated cache does not hold. The
+        // membership probe reuses the already-reduced tags, so each probe
+        // is a single mask compare in the shadow directory.
+        let shadow = match winner {
+            Component::A => self.shadow_a.directory(),
+            Component::B => self.shadow_b.directory(),
+        };
+        let mut m = valid;
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if !shadow.contains(set, reduced[w]) {
+                return (w, EvictionCase::NotInShadow);
+            }
         }
         // Case 3 (partial tags only): aliasing hid every candidate —
         // "the adaptive cache simply picks an arbitrary block to evict".
@@ -390,13 +385,20 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> AdaptiveCache<A, B> {
 
 impl<A: ReplacementPolicy, B: ReplacementPolicy> CacheModel for AdaptiveCache<A, B> {
     fn access(&mut self, block: BlockAddr, write: bool) -> AccessOutcome {
+        // Decompose the address once: the real directory keeps full tags,
+        // so `stored.raw()` *is* the geometry tag, and the shadows reduce
+        // it through their own tag mode without re-deriving the set index.
         let (set, stored) = self.real.locate(block);
+        let full_tag = stored.raw();
 
         // 1. Emulate both component caches for this reference and update
         //    the set's miss history. This happens on *every* reference,
-        //    hit or miss, off the critical path in hardware.
-        let acc_a = self.shadow_a.access(block);
-        let acc_b = self.shadow_b.access(block);
+        //    hit or miss, off the critical path in hardware. Both shadows
+        //    share one tag mode, so the reduction happens once here
+        //    instead of once per array.
+        let shadow_stored = self.shadow_tags.store(full_tag);
+        let acc_a = self.shadow_a.access_at(set, shadow_stored);
+        let acc_b = self.shadow_b.access_at(set, shadow_stored);
         self.history[set].record(!acc_a.hit, !acc_b.hit);
         if acc_a.hit != acc_b.hit {
             // Exclusive miss: the only kind of reference that moves the

@@ -23,6 +23,8 @@ use cache_sim::{
     AccessOutcome, BlockAddr, CacheModel, CacheStats, Directory, Eviction, Geometry, MetaTable,
     PolicyKind, TagMode,
 };
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -83,6 +85,9 @@ pub struct DipCache {
     psel_max: u32,
     /// Fill counter driving BIP's deterministic 1-in-epsilon promotion.
     fills: u64,
+    /// Seeded RNG for the policy victim call (LRU never consults it, so
+    /// DIP remains fully deterministic).
+    rng: SmallRng,
     stats: CacheStats,
 }
 
@@ -93,7 +98,7 @@ impl DipCache {
     ///
     /// Panics if the leader sets do not fit the geometry or
     /// `bip_epsilon` is zero.
-    pub fn new(geom: Geometry, config: DipConfig, _seed: u64) -> Self {
+    pub fn new(geom: Geometry, config: DipConfig, seed: u64) -> Self {
         let sets = geom.num_sets();
         assert!(config.bip_epsilon >= 1, "bip_epsilon must be >= 1");
         assert!(
@@ -118,6 +123,7 @@ impl DipCache {
             psel: psel_max / 2,
             psel_max,
             fills: 0,
+            rng: SmallRng::seed_from_u64(seed),
             stats: CacheStats::default(),
             config,
         }
@@ -196,8 +202,7 @@ impl CacheModel for DipCache {
             Some(w) => w,
             None => {
                 // Victims are always chosen by recency (LRU).
-                let mut rng = rand::rngs::mock::StepRng::new(0, 0);
-                self.recency.victim(set, &mut rng)
+                self.recency.victim(set, &mut self.rng)
             }
         };
         let evicted = self.real.fill_at(set, way, stored);

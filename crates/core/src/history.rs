@@ -130,6 +130,7 @@ impl MissHistory {
     /// (`a_missed != b_missed`) are recorded, as in the paper: "if both
     /// component policies would have missed, then there is no need to
     /// record this in the history".
+    #[inline]
     pub fn record(&mut self, a_missed: bool, b_missed: bool) {
         match &mut self.state {
             State::Bits { bits, head, len } => {
@@ -140,7 +141,9 @@ impl MissHistory {
                     };
                     let bit = u64::from(a_missed); // 1 = A missed
                     *bits = (*bits & !(1u64 << *head)) | (bit << *head);
-                    *head = (*head + 1) % m;
+                    // `head` stays < m, so the wrap is a compare rather
+                    // than the integer division `% m` would emit.
+                    *head = if *head + 1 == m { 0 } else { *head + 1 };
                     *len = (*len + 1).min(m);
                 }
             }

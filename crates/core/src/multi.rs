@@ -93,7 +93,9 @@ impl WindowHistory {
     /// The policy with the fewest misses in the window (ties to the lowest
     /// index).
     fn winner(&self, n_policies: usize) -> usize {
-        let mut counts = vec![0u32; n_policies];
+        // Fixed scratch (<= 32 policies): no allocation on the miss path.
+        let mut counts = [0u32; 32];
+        let counts = &mut counts[..n_policies];
         for i in 0..self.len {
             let mask = self.ring[i];
             for (p, c) in counts.iter_mut().enumerate() {
@@ -131,6 +133,10 @@ pub struct MultiAdaptiveCache {
     rng: SmallRng,
     stats: CacheStats,
     aliasing_fallbacks: u64,
+    /// Reused per-access scratch for the shadow access results (one slot
+    /// per component policy), so the hot path never allocates or zeroes a
+    /// fixed worst-case buffer.
+    scratch: Vec<cache_sim::TagAccess>,
 }
 
 impl MultiAdaptiveCache {
@@ -151,6 +157,14 @@ impl MultiAdaptiveCache {
             .map(|(i, &p)| TagArray::new(geom, config.shadow_tags, p, seed ^ (i as u64 + 1)))
             .collect();
         MultiAdaptiveCache {
+            scratch: vec![
+                cache_sim::TagAccess {
+                    hit: false,
+                    way: 0,
+                    evicted: None,
+                };
+                config.policies.len()
+            ],
             imitations: vec![0; config.policies.len()],
             history: (0..geom.num_sets())
                 .map(|_| WindowHistory::new(config.window))
@@ -188,25 +202,32 @@ impl MultiAdaptiveCache {
     fn choose_victim(&mut self, set: usize, winner: usize, shadow_miss: Option<Way>) -> usize {
         let shadow = &self.shadows[winner];
         let mode = shadow.tag_mode();
+        // Fused pass: reduce each valid real tag once, then derive both
+        // Algorithm-1 cases from masks (first-way order preserved).
+        let mut reduced = [cache_sim::StoredTag::default(); cache_sim::MAX_ASSOC];
+        let valid = self.real.reduced_tags(set, mode, &mut reduced);
         // Case 1: follow the winner's own eviction if that block is here.
         if let Some(ev) = shadow_miss {
-            if let Some(way) = self
-                .real
-                .set_ways(set)
-                .iter()
-                .position(|w| w.valid && mode.store(w.tag.raw()) == ev.tag)
-            {
-                return way;
+            let mut same = 0u64;
+            let mut m = valid;
+            while m != 0 {
+                let w = m.trailing_zeros() as usize;
+                m &= m - 1;
+                same |= u64::from(reduced[w] == ev.tag) << w;
+            }
+            if same != 0 {
+                return same.trailing_zeros() as usize;
             }
         }
         // Case 2: converge towards the winner's contents.
-        if let Some(way) = self
-            .real
-            .set_ways(set)
-            .iter()
-            .position(|w| w.valid && !shadow.contains(set, mode.store(w.tag.raw())))
-        {
-            return way;
+        let sdir = shadow.directory();
+        let mut m = valid;
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if !sdir.contains(set, reduced[w]) {
+                return w;
+            }
         }
         // Case 3: aliasing fallback.
         self.aliasing_fallbacks += 1;
@@ -217,15 +238,15 @@ impl MultiAdaptiveCache {
 impl CacheModel for MultiAdaptiveCache {
     fn access(&mut self, block: BlockAddr, write: bool) -> AccessOutcome {
         let (set, stored) = self.real.locate(block);
+        let full_tag = stored.raw(); // real tags are full
 
         let mut miss_mask = 0u32;
-        let mut accs = Vec::with_capacity(self.shadows.len());
-        for (i, shadow) in self.shadows.iter_mut().enumerate() {
-            let acc = shadow.access(block);
+        for i in 0..self.shadows.len() {
+            let acc = self.shadows[i].access_tag(set, full_tag);
             if !acc.hit {
                 miss_mask |= 1 << i;
             }
-            accs.push(acc);
+            self.scratch[i] = acc;
         }
         let all_mask = (1u32 << self.shadows.len()) - 1;
         self.history[set].record(miss_mask, all_mask);
@@ -244,9 +265,8 @@ impl CacheModel for MultiAdaptiveCache {
             None => {
                 let winner = self.history[set].winner(self.shadows.len());
                 self.imitations[winner] += 1;
-                let shadow_miss = (!accs[winner].hit)
-                    .then_some(accs[winner].evicted)
-                    .flatten();
+                let acc = self.scratch[winner];
+                let shadow_miss = (!acc.hit).then_some(acc.evicted).flatten();
                 self.choose_victim(set, winner, shadow_miss)
             }
         };

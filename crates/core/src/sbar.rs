@@ -236,24 +236,32 @@ impl SbarCache {
             Component::B => (&self.shadow_b, acc_b),
         };
         let mode = shadow.tag_mode();
+        // Fused pass: reduce each valid real tag to the shadow
+        // representation once, then derive both Algorithm-1 cases from
+        // masks over the reduced tags (first-way order preserved).
+        let mut reduced = [cache_sim::StoredTag::default(); cache_sim::MAX_ASSOC];
+        let valid = self.real.reduced_tags(set, mode, &mut reduced);
         if let (true, Some(ev)) = (!miss.0, miss.1) {
             // winner missed (miss.0 = hit flag)
-            if let Some(way) = self
-                .real
-                .set_ways(set)
-                .iter()
-                .position(|w| w.valid && mode.store(w.tag.raw()) == ev.tag)
-            {
-                return (way, EvictionCase::SameVictim);
+            let mut same = 0u64;
+            let mut m = valid;
+            while m != 0 {
+                let w = m.trailing_zeros() as usize;
+                m &= m - 1;
+                same |= u64::from(reduced[w] == ev.tag) << w;
+            }
+            if same != 0 {
+                return (same.trailing_zeros() as usize, EvictionCase::SameVictim);
             }
         }
-        if let Some(way) = self
-            .real
-            .set_ways(set)
-            .iter()
-            .position(|w| w.valid && !shadow.contains(set, mode.store(w.tag.raw())))
-        {
-            return (way, EvictionCase::NotInShadow);
+        let sdir = shadow.directory();
+        let mut m = valid;
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if !sdir.contains(set, reduced[w]) {
+                return (w, EvictionCase::NotInShadow);
+            }
         }
         self.aliasing_fallbacks += 1;
         (
@@ -282,14 +290,15 @@ impl SbarCache {
 impl CacheModel for SbarCache {
     fn access(&mut self, block: BlockAddr, write: bool) -> AccessOutcome {
         let (set, stored) = self.real.locate(block);
+        let full_tag = stored.raw(); // real tags are full
         let leader = self.leader_index[set].map(|s| s as usize);
 
         // Leaders sample both component policies and train the selector.
         let mut acc_a = (true, None);
         let mut acc_b = (true, None);
         if let Some(slot) = leader {
-            let a = self.shadow_a.access(block);
-            let b = self.shadow_b.access(block);
+            let a = self.shadow_a.access_tag(set, full_tag);
+            let b = self.shadow_b.access_tag(set, full_tag);
             acc_a = (a.hit, a.evicted);
             acc_b = (b.hit, b.evicted);
             self.history[slot].record(!a.hit, !b.hit);

@@ -1,0 +1,72 @@
+//! The adaptive cache's access path — three directory probes, history
+//! update, and the fused Algorithm-1 victim scan — must not allocate in
+//! steady state (the Case-1/Case-2 candidate buffer is a stack array).
+//!
+//! Own test binary: `#[global_allocator]` is process-global.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use adaptive_cache::{AdaptiveCache, AdaptiveConfig};
+use cache_sim::{BlockAddr, CacheModel, Geometry};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// side effect with no influence on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[inline]
+fn stream_block(i: u64) -> BlockAddr {
+    let group = i / 4;
+    if i % 4 < 3 {
+        BlockAddr::new(group % 768)
+    } else {
+        BlockAddr::new(768 + group % 16_384)
+    }
+}
+
+#[test]
+fn adaptive_million_access_loop_allocates_nothing() {
+    let geom = Geometry::new(512 * 1024, 64, 8).unwrap();
+    for config in [
+        AdaptiveConfig::paper_full_tags(),
+        AdaptiveConfig::paper_default(),
+    ] {
+        let mut cache = AdaptiveCache::new(geom, config, 7);
+        for i in 0..50_000 {
+            cache.access(stream_block(i), i % 9 == 0);
+        }
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let mut hits = 0u64;
+        for i in 0..1_000_000u64 {
+            hits += u64::from(cache.access(stream_block(i), i % 9 == 0).hit);
+        }
+        assert!(hits > 0);
+        assert_eq!(
+            ALLOCATIONS.load(Ordering::Relaxed) - before,
+            0,
+            "{:?} adaptive access loop must not allocate",
+            config.shadow_tags
+        );
+    }
+}

@@ -307,6 +307,7 @@ where
         format!("functional_run {}", hierarchy.l2().label())
     });
     let mut stats = FunctionalStats::default();
+    let started = std::time::Instant::now();
     let mut last_iblock = u64::MAX;
     for inst in trace.take(max_insts as usize) {
         stats.instructions += 1;
@@ -330,6 +331,16 @@ where
     if ac_telemetry::enabled() {
         hierarchy.l2().flush_telemetry();
         ac_telemetry::counter_add("functional_instructions_total", stats.instructions);
+        // Simulation throughput over the cache access stream (fetch-block
+        // lookups + data references), for spotting engine regressions in
+        // dashboards without a dedicated bench run.
+        let secs = started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            ac_telemetry::gauge_set(
+                "engine.accesses_per_sec",
+                (stats.inst_fetches + stats.data_accesses) as f64 / secs,
+            );
+        }
     }
     stats
 }

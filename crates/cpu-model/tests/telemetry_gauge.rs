@@ -1,0 +1,35 @@
+//! The functional engine reports its simulation throughput when
+//! telemetry is on.
+//!
+//! Lives in its own integration-test binary because
+//! [`ac_telemetry::Telemetry::install`] claims the process-global
+//! recorder slot.
+
+use ac_telemetry::{Telemetry, TelemetryConfig};
+use cache_sim::{Cache, Geometry, PolicyKind};
+use cpu_model::{run_functional, CpuConfig, Hierarchy};
+use workloads::primary_suite;
+
+#[test]
+fn functional_run_records_accesses_per_sec_gauge() {
+    let hub = Telemetry::install(TelemetryConfig::default())
+        .unwrap_or_else(|_| panic!("recorder already installed"));
+    let config = CpuConfig::paper_default();
+    let geom = Geometry::new(512 * 1024, 64, 8).unwrap();
+    let mut hierarchy = Hierarchy::new(&config, Cache::new(geom, PolicyKind::Lru, 7));
+    let bench = &primary_suite()[0];
+    let stats = run_functional(&mut hierarchy, bench.spec.generator(), 50_000);
+    assert!(stats.instructions > 0);
+
+    let gauges = hub.gauges();
+    let g = gauges
+        .get("engine.accesses_per_sec")
+        .and_then(|by_label| by_label.get(""))
+        .copied()
+        .expect("engine.accesses_per_sec gauge must be set after a run");
+    assert!(g > 0.0, "throughput gauge must be positive, got {g}");
+    assert_eq!(
+        hub.counter_value("functional_instructions_total", ""),
+        stats.instructions
+    );
+}

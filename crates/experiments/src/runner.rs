@@ -181,35 +181,52 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(items.len().max(1));
+    let f = &f;
+    // Work-stealing claim counter: each worker claims the next unclaimed
+    // index with one uncontended `fetch_add` instead of serialising on a
+    // mutex-guarded queue. Results are accumulated per worker and merged
+    // by index afterwards, so no slot needs shared mutable access.
+    let next = AtomicUsize::new(0);
+    let next = &next;
     let mut results: Vec<Option<Result<R, ExperimentError>>> =
         (0..items.len()).map(|_| None).collect();
-    let f = &f;
-    // Hand out (index, result slot) pairs through a shared work queue.
-    let slots: Vec<_> = results.iter_mut().enumerate().collect();
-    let queue = std::sync::Mutex::new(slots.into_iter());
-    let queue = &queue;
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(move || loop {
-                // The queue lock is never held across `f`, and panics in
-                // `f` are caught below, so the mutex cannot be poisoned
-                // by a failing item; recover defensively anyway.
-                let item = { queue.lock().unwrap_or_else(|e| e.into_inner()).next() };
-                match item {
-                    Some((i, slot)) => {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
                         let out =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i])));
-                        *slot = Some(out.map_err(|p| {
-                            ExperimentError::Panic(crate::resilience::panic_message(&*p))
-                        }));
+                        local.push((
+                            i,
+                            out.map_err(|p| {
+                                ExperimentError::Panic(crate::resilience::panic_message(&*p))
+                            }),
+                        ));
                     }
-                    None => break,
+                    local
+                })
+            })
+            .collect();
+        for w in workers {
+            // Worker closures catch item panics, so join only fails on
+            // runtime-level faults; surface those rather than aborting.
+            if let Ok(local) = w.join() {
+                for (i, r) in local {
+                    results[i] = Some(r);
                 }
-            });
+            }
         }
     });
     results

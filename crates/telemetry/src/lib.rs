@@ -202,6 +202,14 @@ pub fn gauge_set(name: &'static str, value: f64) {
     }
 }
 
+/// Sets gauge `name` dimensioned by `label`.
+#[inline]
+pub fn gauge_set_labeled(name: &'static str, label: &str, value: f64) {
+    if let Some(r) = recorder() {
+        r.gauge_set(name, label, value);
+    }
+}
+
 /// Records `value` into histogram `name` on the global recorder.
 #[inline]
 pub fn histogram_record(name: &'static str, value: u64) {

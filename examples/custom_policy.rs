@@ -42,7 +42,7 @@ impl ReplacementPolicy for Srrip {
         set.set_word(way, self.max_rrpv - 1); // insert as "long interval"
     }
 
-    fn victim(&self, set: &SetMeta, _rng: &mut dyn rand::RngCore) -> usize {
+    fn victim(&self, set: &SetMeta, _rng: &mut rand::rngs::SmallRng) -> usize {
         // Evict a block predicted to be re-referenced furthest in the
         // future. (Hardware SRRIP ages all blocks until one reaches the
         // maximum RRPV; picking the numerically largest RRPV makes the

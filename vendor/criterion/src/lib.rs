@@ -40,8 +40,15 @@ pub struct Bencher {
 
 impl Bencher {
     /// Runs `f` repeatedly and records its median time per call.
+    ///
+    /// Setting `AC_CRITERION_QUICK=1` shrinks the calibration target and
+    /// sample count for CI smoke runs (noisier, but several times
+    /// faster end-to-end).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Calibrate: grow the batch until it runs for >= 5 ms.
+        let quick = std::env::var_os("AC_CRITERION_QUICK").is_some_and(|v| v != "0");
+        let target = Duration::from_millis(if quick { 1 } else { 5 });
+        let nsamples = if quick { 3 } else { 5 };
+        // Calibrate: grow the batch until it runs for >= the target.
         let mut batch: u64 = 1;
         let batch = loop {
             let start = Instant::now();
@@ -49,13 +56,13 @@ impl Bencher {
                 black_box(f());
             }
             let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+            if elapsed >= target || batch >= 1 << 20 {
                 break batch.max(1);
             }
             batch = batch.saturating_mul(4);
         };
         // Measure a few batches and keep the median.
-        let mut samples: Vec<f64> = (0..5)
+        let mut samples: Vec<f64> = (0..nsamples)
             .map(|_| {
                 let start = Instant::now();
                 for _ in 0..batch {
