@@ -365,7 +365,7 @@ fn main() {
     if let Err(e) = bench::init_telemetry(&mut args) {
         die_invalid(&e);
     }
-    let arg = args.first().cloned().unwrap_or_default();
+    let mut arg = args.first().cloned().unwrap_or_default();
     if arg == "--template" {
         println!("{}", to_json(&template()));
         return;
@@ -375,9 +375,19 @@ fn main() {
         bench::finish_telemetry();
         return;
     }
+    if arg == "report" {
+        // Renders run artifacts; never simulates, so no telemetry flush.
+        std::process::exit(bench::report::run_report_subcommand(&args[1..]));
+    }
+    if arg == "run" {
+        // `cachesim run <run.json>` is an explicit alias for the bare
+        // positional form.
+        args.remove(0);
+        arg = args.first().cloned().unwrap_or_default();
+    }
     if arg.is_empty() || arg.starts_with("--") {
         die_invalid(
-            "usage: cachesim [--telemetry <dir> | --metrics] <run.json> | cachesim --template | cachesim bench [--quick] [--out <path>]",
+            "usage: cachesim [--telemetry <dir> | --metrics] [run] <run.json> | cachesim --template | cachesim bench [--quick] [--out <path>] | cachesim report <run-dir> [--compare <old-run-dir>] [--out <file>] [--threshold <pct>]",
         );
     }
 

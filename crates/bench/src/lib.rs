@@ -5,6 +5,7 @@ use experiments::Table;
 use std::path::{Path, PathBuf};
 
 pub mod access_bench;
+pub mod report;
 pub mod seed_baseline;
 
 /// Prints a table and writes `results/<stem>.{csv,json}`.

@@ -1,0 +1,1186 @@
+//! `cachesim report` — renders the telemetry artifacts of one run
+//! (`telemetry-summary.json`, `timeline.jsonl`, `heatmap.json`) into a
+//! single self-contained HTML file, and optionally diffs two runs.
+//!
+//! The HTML embeds inline CSS and inline SVG only: no JavaScript, no
+//! external fonts, no network fetches. A report can be attached to a CI
+//! artifact or mailed around and it will render identically anywhere.
+//!
+//! Compare mode (`--compare <old-run-dir>`) extracts a flat metric map
+//! from both runs, computes per-metric percentage deltas, and classifies
+//! each metric as lower-is-better (miss-like counters, MPKI),
+//! higher-is-better (throughput) or neutral. A directional metric that
+//! moves the wrong way by more than the threshold
+//! (`--threshold <pct>` / `AC_REPORT_MAX_REGRESSION_PCT`, default 10%)
+//! makes the subcommand exit with [`EXIT_REGRESSION`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+/// Exit code when `--compare` finds a regression beyond the threshold.
+pub const EXIT_REGRESSION: i32 = 4;
+
+/// Exit code for malformed flags / unreadable run directories (matches
+/// the `cachesim` top-level convention).
+pub const EXIT_INVALID_INPUT: i32 = 3;
+
+/// Default regression threshold (percent) when neither `--threshold`
+/// nor `AC_REPORT_MAX_REGRESSION_PCT` is given.
+pub const DEFAULT_REGRESSION_PCT: f64 = 10.0;
+
+// ---------------------------------------------------------------------------
+// Artifact loading
+// ---------------------------------------------------------------------------
+
+/// The parsed telemetry artifacts of one run directory.
+#[derive(Debug, Default)]
+pub struct RunArtifacts {
+    /// Directory the artifacts were loaded from.
+    pub dir: PathBuf,
+    /// Parsed `telemetry-summary.json`, when present.
+    pub summary: Option<Value>,
+    /// Parsed lines of `timeline.jsonl`, when present.
+    pub timeline: Vec<Value>,
+    /// Parsed `heatmap.json`, when present.
+    pub heatmap: Option<Value>,
+}
+
+impl RunArtifacts {
+    /// Loads whatever artifacts exist under `dir`. Missing files are
+    /// tolerated (a functional run without decisions has no heatmap);
+    /// present-but-unparsable files are an error.
+    pub fn load(dir: &Path) -> Result<Self, String> {
+        let mut out = RunArtifacts {
+            dir: dir.to_path_buf(),
+            ..RunArtifacts::default()
+        };
+        let summary_path = dir.join("telemetry-summary.json");
+        if summary_path.is_file() {
+            let text = std::fs::read_to_string(&summary_path)
+                .map_err(|e| format!("{}: {e}", summary_path.display()))?;
+            let v: Value = serde_json::from_str(&text)
+                .map_err(|e| format!("{}: {e}", summary_path.display()))?;
+            out.summary = Some(v);
+        }
+        let timeline_path = dir.join("timeline.jsonl");
+        if timeline_path.is_file() {
+            let text = std::fs::read_to_string(&timeline_path)
+                .map_err(|e| format!("{}: {e}", timeline_path.display()))?;
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let v: Value = serde_json::from_str(line)
+                    .map_err(|e| format!("{} line {}: {e}", timeline_path.display(), i + 1))?;
+                out.timeline.push(v);
+            }
+        }
+        let heatmap_path = dir.join("heatmap.json");
+        if heatmap_path.is_file() {
+            let text = std::fs::read_to_string(&heatmap_path)
+                .map_err(|e| format!("{}: {e}", heatmap_path.display()))?;
+            let v: Value = serde_json::from_str(&text)
+                .map_err(|e| format!("{}: {e}", heatmap_path.display()))?;
+            out.heatmap = Some(v);
+        }
+        if out.summary.is_none() && out.timeline.is_empty() {
+            return Err(format!(
+                "{}: no telemetry artifacts found (expected telemetry-summary.json \
+                 and/or timeline.jsonl — run with --telemetry <dir> first)",
+                dir.display()
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Timeline rows grouped by their `run` label, preserving first-seen
+    /// order so charts appear in emission order.
+    fn timeline_by_run(&self) -> Vec<(String, Vec<&Value>)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: BTreeMap<String, Vec<&Value>> = BTreeMap::new();
+        for row in &self.timeline {
+            let run = row
+                .get("run")
+                .and_then(Value::as_str)
+                .unwrap_or("(unlabelled)")
+                .to_string();
+            if !groups.contains_key(&run) {
+                order.push(run.clone());
+            }
+            groups.entry(run).or_default().push(row);
+        }
+        order
+            .into_iter()
+            .map(|run| {
+                let rows = groups.remove(&run).unwrap_or_default();
+                (run, rows)
+            })
+            .collect()
+    }
+}
+
+fn num(v: Option<&Value>) -> f64 {
+    v.and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+// ---------------------------------------------------------------------------
+// Metric extraction + comparison
+// ---------------------------------------------------------------------------
+
+/// Which direction of movement is an improvement for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (misses, MPKI, retries, stalls).
+    LowerBetter,
+    /// Larger is better (throughput).
+    HigherBetter,
+    /// Informational only; never flags a regression.
+    Neutral,
+}
+
+/// One comparable metric extracted from a run's artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable key used to pair metrics across runs.
+    pub key: String,
+    /// Observed value.
+    pub value: f64,
+    /// Improvement direction.
+    pub direction: Direction,
+}
+
+fn counter_direction(name: &str) -> Direction {
+    const BAD: &[&str] = &[
+        "miss",
+        "writeback",
+        "eviction",
+        "retries",
+        "fallback",
+        "timed_out",
+        "failed",
+        "sb_stall",
+    ];
+    if BAD.iter().any(|b| name.contains(b)) {
+        Direction::LowerBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+fn gauge_direction(name: &str) -> Direction {
+    if name.contains("per_sec") {
+        Direction::HigherBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+/// Flattens a run's artifacts into a keyed metric list: every summary
+/// counter and gauge (per label), plus per-timeline overall MPKI and
+/// mean throughput.
+pub fn extract_metrics(run: &RunArtifacts) -> Vec<Metric> {
+    let mut out = Vec::new();
+    if let Some(summary) = &run.summary {
+        if let Some(counters) = summary.get("counters").and_then(Value::as_object) {
+            for (name, by_label) in counters.iter() {
+                let dir = counter_direction(name);
+                if let Some(map) = by_label.as_object() {
+                    for (label, value) in map.iter() {
+                        out.push(Metric {
+                            key: format!("counter:{name}{{{label}}}"),
+                            value: num(Some(value)),
+                            direction: dir,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(gauges) = summary.get("gauges").and_then(Value::as_object) {
+            for (name, by_label) in gauges.iter() {
+                let dir = gauge_direction(name);
+                if let Some(map) = by_label.as_object() {
+                    for (label, value) in map.iter() {
+                        out.push(Metric {
+                            key: format!("gauge:{name}{{{label}}}"),
+                            value: num(Some(value)),
+                            direction: dir,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for (label, rows) in run.timeline_by_run() {
+        let misses: f64 = rows.iter().map(|r| num(r.get("misses"))).sum();
+        let insts: f64 = rows.iter().map(|r| num(r.get("instructions"))).sum();
+        if insts > 0.0 {
+            out.push(Metric {
+                key: format!("timeline:{label}:mpki"),
+                value: 1000.0 * misses / insts,
+                direction: Direction::LowerBetter,
+            });
+        }
+        let rates: Vec<f64> = rows
+            .iter()
+            .map(|r| num(r.get("ticks_per_sec")))
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .collect();
+        if !rates.is_empty() {
+            out.push(Metric {
+                key: format!("timeline:{label}:ticks_per_sec"),
+                value: rates.iter().sum::<f64>() / rates.len() as f64,
+                direction: Direction::HigherBetter,
+            });
+        }
+    }
+    out
+}
+
+/// The diff of one metric across two runs.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Metric key (shared by both runs).
+    pub key: String,
+    /// Value in the baseline (`--compare`) run.
+    pub old: f64,
+    /// Value in the current run.
+    pub new: f64,
+    /// `(new - old) / old * 100`; `0` when both sides are zero.
+    pub delta_pct: f64,
+    /// Improvement direction of the metric.
+    pub direction: Direction,
+    /// True when the metric moved in its bad direction past the threshold.
+    pub regressed: bool,
+}
+
+/// Pairs the metrics of two runs and flags regressions beyond
+/// `threshold_pct`. Metrics present in only one run are skipped — a
+/// diff needs both sides.
+pub fn compare_metrics(old: &[Metric], new: &[Metric], threshold_pct: f64) -> Vec<MetricDelta> {
+    let old_by_key: BTreeMap<&str, &Metric> = old.iter().map(|m| (m.key.as_str(), m)).collect();
+    let mut out = Vec::new();
+    for m in new {
+        let Some(o) = old_by_key.get(m.key.as_str()) else {
+            continue;
+        };
+        let delta_pct = if o.value == 0.0 {
+            if m.value == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (m.value - o.value) / o.value * 100.0
+        };
+        let regressed = match m.direction {
+            Direction::LowerBetter => delta_pct > threshold_pct,
+            Direction::HigherBetter => -delta_pct > threshold_pct,
+            Direction::Neutral => false,
+        };
+        out.push(MetricDelta {
+            key: m.key.clone(),
+            old: o.value,
+            new: m.value,
+            delta_pct,
+            direction: m.direction,
+            regressed,
+        });
+    }
+    // Regressions first, then by magnitude of movement.
+    out.sort_by(|a, b| {
+        b.regressed.cmp(&a.regressed).then(
+            b.delta_pct
+                .abs()
+                .partial_cmp(&a.delta_pct.abs())
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// HTML / SVG rendering
+// ---------------------------------------------------------------------------
+
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    esc(s, &mut out);
+    out
+}
+
+fn fmt_val(x: f64) -> String {
+    if !x.is_finite() {
+        return "∞".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// One named series of (x, y) points for a line chart.
+struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+const CHART_W: f64 = 720.0;
+const CHART_H: f64 = 200.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 12.0;
+const MARGIN_T: f64 = 10.0;
+const MARGIN_B: f64 = 26.0;
+const PALETTE: &[&str] = &[
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+];
+
+/// Renders a multi-series SVG line chart. `reference` draws a dashed
+/// horizontal rule (e.g. the 0.5 line for imitation fractions).
+fn svg_line_chart(title: &str, x_label: &str, series: &[Series], reference: Option<f64>) -> String {
+    let mut svg = String::new();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if pts.is_empty() {
+        return svg;
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if let Some(r) = reference {
+        y0 = y0.min(r);
+        y1 = y1.max(r);
+    }
+    y0 = y0.min(0.0);
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let px = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * (CHART_W - MARGIN_L - MARGIN_R);
+    let py = |y: f64| CHART_H - MARGIN_B - (y - y0) / (y1 - y0) * (CHART_H - MARGIN_T - MARGIN_B);
+
+    let _ = write!(
+        svg,
+        "<svg viewBox=\"0 0 {CHART_W} {CHART_H}\" width=\"{CHART_W}\" height=\"{CHART_H}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\" aria-label=\"{}\">",
+        escaped(title)
+    );
+    // Axes.
+    let _ = write!(
+        svg,
+        "<line x1=\"{l}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"#888\"/>\
+         <line x1=\"{l}\" y1=\"{t}\" x2=\"{l}\" y2=\"{b}\" stroke=\"#888\"/>",
+        l = MARGIN_L,
+        r = CHART_W - MARGIN_R,
+        t = MARGIN_T,
+        b = CHART_H - MARGIN_B,
+    );
+    // Y tick labels (min / mid / max).
+    for frac in [0.0, 0.5, 1.0] {
+        let y = y0 + frac * (y1 - y0);
+        let _ = write!(
+            svg,
+            "<text x=\"{}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\" fill=\"#555\">{}</text>",
+            MARGIN_L - 4.0,
+            py(y) + 3.0,
+            fmt_val(y)
+        );
+    }
+    // X range labels.
+    let _ = write!(
+        svg,
+        "<text x=\"{}\" y=\"{}\" font-size=\"10\" fill=\"#555\">{}</text>\
+         <text x=\"{}\" y=\"{}\" font-size=\"10\" text-anchor=\"end\" fill=\"#555\">{} ({})</text>",
+        MARGIN_L,
+        CHART_H - 8.0,
+        fmt_val(x0),
+        CHART_W - MARGIN_R,
+        CHART_H - 8.0,
+        fmt_val(x1),
+        escaped(x_label),
+    );
+    if let Some(r) = reference {
+        let _ = write!(
+            svg,
+            "<line x1=\"{}\" y1=\"{:.1}\" x2=\"{}\" y2=\"{:.1}\" stroke=\"#aaa\" \
+             stroke-dasharray=\"4 3\"/>",
+            MARGIN_L,
+            py(r),
+            CHART_W - MARGIN_R,
+            py(r)
+        );
+    }
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut path = String::new();
+        for (j, &(x, y)) in s.points.iter().enumerate() {
+            let _ = write!(
+                path,
+                "{}{:.1},{:.1}",
+                if j == 0 { "" } else { " " },
+                px(x),
+                py(y)
+            );
+        }
+        let _ = write!(
+            svg,
+            "<polyline points=\"{path}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\">\
+             <title>{}</title></polyline>",
+            escaped(&s.name)
+        );
+    }
+    svg.push_str("</svg>");
+    // Legend under the chart.
+    let mut legend = String::from("<div class=\"legend\">");
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let _ = write!(
+            legend,
+            "<span><i style=\"background:{color}\"></i>{}</span>",
+            escaped(&s.name)
+        );
+    }
+    legend.push_str("</div>");
+    svg + &legend
+}
+
+fn chart_section(
+    out: &mut String,
+    title: &str,
+    x_label: &str,
+    series: Vec<Series>,
+    reference: Option<f64>,
+) {
+    let nonempty: Vec<Series> = series
+        .into_iter()
+        .filter(|s| !s.points.is_empty())
+        .collect();
+    if nonempty.is_empty() {
+        return;
+    }
+    let _ = write!(out, "<h3>{}</h3>", escaped(title));
+    out.push_str(&svg_line_chart(title, x_label, &nonempty, reference));
+}
+
+fn series_of(rows: &[&Value], x_field: &str, f: impl Fn(&Value) -> Option<f64>) -> Vec<(f64, f64)> {
+    rows.iter()
+        .filter_map(|r| {
+            let x = r.get(x_field).and_then(Value::as_f64)?;
+            let y = f(r)?;
+            y.is_finite().then_some((x, y))
+        })
+        .collect()
+}
+
+fn render_timeline_charts(out: &mut String, run: &RunArtifacts) {
+    for (label, rows) in run.timeline_by_run() {
+        let unit = rows
+            .first()
+            .and_then(|r| r.get("unit"))
+            .and_then(Value::as_str)
+            .unwrap_or("ticks")
+            .to_string();
+        let _ = write!(out, "<h2>Timeline — {}</h2>", escaped(&label));
+        let _ = write!(
+            out,
+            "<p class=\"note\">{} windows, x-axis in {}.</p>",
+            rows.len(),
+            escaped(&unit)
+        );
+
+        chart_section(
+            out,
+            "Windowed MPKI",
+            &unit,
+            vec![Series {
+                name: "mpki".into(),
+                points: series_of(&rows, "end", |r| r.get("mpki").and_then(Value::as_f64)),
+            }],
+            None,
+        );
+        chart_section(
+            out,
+            "Imitation choice fraction (B)",
+            &unit,
+            vec![Series {
+                name: "imit_frac_b".into(),
+                points: series_of(&rows, "end", |r| {
+                    r.get("imit_frac_b").and_then(Value::as_f64)
+                }),
+            }],
+            Some(0.5),
+        );
+        chart_section(
+            out,
+            "Exclusive misses per window",
+            &unit,
+            vec![
+                Series {
+                    name: "excl_a_misses".into(),
+                    points: series_of(&rows, "end", |r| {
+                        r.get("excl_a_misses").and_then(Value::as_f64)
+                    }),
+                },
+                Series {
+                    name: "excl_b_misses".into(),
+                    points: series_of(&rows, "end", |r| {
+                        r.get("excl_b_misses").and_then(Value::as_f64)
+                    }),
+                },
+            ],
+            None,
+        );
+        chart_section(
+            out,
+            "Leader votes per window / PSEL",
+            &unit,
+            vec![
+                Series {
+                    name: "leader_votes".into(),
+                    points: series_of(&rows, "end", |r| {
+                        r.get("leader_votes").and_then(Value::as_f64)
+                    }),
+                },
+                Series {
+                    name: "psel".into(),
+                    points: series_of(&rows, "end", |r| r.get("psel").and_then(Value::as_f64)),
+                },
+            ],
+            None,
+        );
+        chart_section(
+            out,
+            "Throughput",
+            &unit,
+            vec![Series {
+                name: format!("{unit}/sec"),
+                points: series_of(&rows, "end", |r| {
+                    r.get("ticks_per_sec").and_then(Value::as_f64)
+                }),
+            }],
+            None,
+        );
+        let mshr = series_of(&rows, "end", |r| r.get("mshr_busy").and_then(Value::as_f64));
+        let sb = series_of(&rows, "end", |r| r.get("sb_busy").and_then(Value::as_f64));
+        if mshr.iter().any(|&(_, y)| y > 0.0) || sb.iter().any(|&(_, y)| y > 0.0) {
+            chart_section(
+                out,
+                "MSHR / store-buffer occupancy at window close",
+                &unit,
+                vec![
+                    Series {
+                        name: "mshr_busy".into(),
+                        points: mshr,
+                    },
+                    Series {
+                        name: "sb_busy".into(),
+                        points: sb,
+                    },
+                ],
+                None,
+            );
+        }
+    }
+}
+
+fn heat_color(imit_a: f64, imit_b: f64, misses: f64, max_misses: f64) -> String {
+    // Hue from the imitation split (A = blue #1f77b4, B = orange #ff7f0e),
+    // intensity from the windowed miss density.
+    let total = imit_a + imit_b;
+    let frac_b = if total > 0.0 { imit_b / total } else { 0.5 };
+    let mix = |a: f64, b: f64| a + (b - a) * frac_b;
+    let (r, g, b) = (
+        mix(0x1f as f64, 0xff as f64),
+        mix(0x77 as f64, 0x7f as f64),
+        mix(0xb4 as f64, 0x0e as f64),
+    );
+    let alpha = if max_misses > 0.0 {
+        (0.15 + 0.85 * (misses / max_misses)).min(1.0)
+    } else {
+        0.4
+    };
+    format!(
+        "rgba({},{},{},{alpha:.2})",
+        r.round() as u32,
+        g.round() as u32,
+        b.round() as u32
+    )
+}
+
+fn render_heatmap(out: &mut String, heatmap: &Value) {
+    let Some(windows) = heatmap.get("windows").and_then(Value::as_array) else {
+        return;
+    };
+    if windows.is_empty() {
+        return;
+    }
+    // Collect the sampled set ids (rows) across every window.
+    let mut sets: Vec<u64> = Vec::new();
+    let mut max_misses = 0.0_f64;
+    for w in windows {
+        if let Some(cells) = w.get("sets").and_then(Value::as_array) {
+            for c in cells {
+                let set = num(c.get("set")) as u64;
+                if !sets.contains(&set) {
+                    sets.push(set);
+                }
+                max_misses = max_misses.max(num(c.get("miss_a")) + num(c.get("miss_b")));
+            }
+        }
+    }
+    sets.sort_unstable();
+    if sets.is_empty() {
+        return;
+    }
+
+    out.push_str("<h2>Per-set decision heatmap</h2>");
+    let _ = write!(
+        out,
+        "<p class=\"note\">{} sampled sets × {} windows (stride {}, {} events/window). \
+         Blue = imitates A, orange = imitates B; opacity tracks windowed miss density.</p>",
+        sets.len(),
+        windows.len(),
+        num(heatmap.get("set_stride")),
+        num(heatmap.get("window_events")),
+    );
+
+    const CELL: f64 = 9.0;
+    const GAP: f64 = 1.0;
+    const LABEL_W: f64 = 44.0;
+    let w = LABEL_W + windows.len() as f64 * (CELL + GAP) + 8.0;
+    let h = sets.len() as f64 * (CELL + GAP) + 24.0;
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {w:.0} {h:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\" aria-label=\"per-set heatmap\">"
+    );
+    for (row, set) in sets.iter().enumerate() {
+        let y = row as f64 * (CELL + GAP);
+        let _ = write!(
+            out,
+            "<text x=\"{:.0}\" y=\"{:.1}\" font-size=\"8\" text-anchor=\"end\" \
+             fill=\"#555\">set {set}</text>",
+            LABEL_W - 4.0,
+            y + CELL - 1.0,
+        );
+    }
+    for (col, wnd) in windows.iter().enumerate() {
+        let x = LABEL_W + col as f64 * (CELL + GAP);
+        let (start, end) = (num(wnd.get("start_seq")), num(wnd.get("end_seq")));
+        let Some(cells) = wnd.get("sets").and_then(Value::as_array) else {
+            continue;
+        };
+        for c in cells {
+            let set = num(c.get("set")) as u64;
+            let Some(row) = sets.iter().position(|&s| s == set) else {
+                continue;
+            };
+            let y = row as f64 * (CELL + GAP);
+            let (ia, ib) = (num(c.get("imit_a")), num(c.get("imit_b")));
+            let (ma, mb) = (num(c.get("miss_a")), num(c.get("miss_b")));
+            let fill = heat_color(ia, ib, ma + mb, max_misses);
+            let _ = write!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{CELL}\" height=\"{CELL}\" \
+                 fill=\"{fill}\"><title>set {set}, events {}..{}: imit A={}, B={}, \
+                 misses A={}, B={}</title></rect>",
+                fmt_val(start),
+                fmt_val(end),
+                fmt_val(ia),
+                fmt_val(ib),
+                fmt_val(ma),
+                fmt_val(mb),
+            );
+        }
+    }
+    out.push_str("</svg>");
+}
+
+fn render_summary_tables(out: &mut String, summary: &Value) {
+    for (section, heading) in [("counters", "Counters"), ("gauges", "Gauges")] {
+        let Some(map) = summary.get(section).and_then(Value::as_object) else {
+            continue;
+        };
+        if map.iter().next().is_none() {
+            continue;
+        }
+        let _ = write!(
+            out,
+            "<h3>{heading}</h3><table><tr><th>name</th><th>label</th><th>value</th></tr>"
+        );
+        for (name, by_label) in map.iter() {
+            if let Some(labels) = by_label.as_object() {
+                for (label, value) in labels.iter() {
+                    let _ = write!(
+                        out,
+                        "<tr><td>{}</td><td>{}</td><td class=\"num\">{}</td></tr>",
+                        escaped(name),
+                        escaped(label),
+                        fmt_val(num(Some(value))),
+                    );
+                }
+            }
+        }
+        out.push_str("</table>");
+    }
+    if let Some(events) = summary.get("events") {
+        let _ = write!(
+            out,
+            "<p class=\"note\">Decision events: {} seen, {} recorded (sample rate {}).</p>",
+            fmt_val(num(events.get("seen"))),
+            fmt_val(num(events.get("recorded"))),
+            fmt_val(num(events.get("sample_rate"))),
+        );
+    }
+}
+
+fn render_compare_table(out: &mut String, baseline: &Path, deltas: &[MetricDelta], threshold: f64) {
+    out.push_str("<h2>Run-to-run comparison</h2>");
+    let _ = write!(
+        out,
+        "<p class=\"note\">Baseline: <code>{}</code>; regression threshold ±{threshold}%.</p>",
+        escaped(&baseline.display().to_string())
+    );
+    out.push_str(
+        "<table><tr><th>metric</th><th>baseline</th><th>current</th>\
+         <th>Δ%</th><th>verdict</th></tr>",
+    );
+    for d in deltas {
+        let (class, verdict) = if d.regressed {
+            ("bad", "REGRESSION")
+        } else if d.direction == Direction::Neutral {
+            ("", "")
+        } else if d.delta_pct == 0.0 {
+            ("", "=")
+        } else {
+            let improved = match d.direction {
+                Direction::LowerBetter => d.delta_pct < 0.0,
+                Direction::HigherBetter => d.delta_pct > 0.0,
+                Direction::Neutral => false,
+            };
+            if improved {
+                ("good", "improved")
+            } else {
+                ("", "within threshold")
+            }
+        };
+        let _ = write!(
+            out,
+            "<tr class=\"{class}\"><td>{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td><td>{verdict}</td></tr>",
+            escaped(&d.key),
+            fmt_val(d.old),
+            fmt_val(d.new),
+            if d.delta_pct.is_finite() {
+                format!("{:+.2}", d.delta_pct)
+            } else {
+                "+∞".to_string()
+            },
+        );
+    }
+    out.push_str("</table>");
+}
+
+/// Renders the full self-contained HTML document.
+pub fn render_html(
+    run: &RunArtifacts,
+    compare: Option<(&RunArtifacts, &[MetricDelta], f64)>,
+) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">");
+    let _ = write!(
+        out,
+        "<title>cachesim report — {}</title>",
+        escaped(&run.dir.display().to_string())
+    );
+    out.push_str(
+        "<style>\
+         body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:60rem;\
+              color:#222;line-height:1.4}\
+         h1{font-size:1.4rem}h2{font-size:1.15rem;margin-top:2rem;\
+              border-bottom:1px solid #ddd;padding-bottom:.2rem}\
+         h3{font-size:1rem;margin-bottom:.3rem}\
+         table{border-collapse:collapse;font-size:.85rem;margin:.5rem 0}\
+         th,td{border:1px solid #ddd;padding:.25rem .5rem;text-align:left}\
+         td.num{text-align:right;font-variant-numeric:tabular-nums}\
+         tr.bad td{background:#fde8e8}tr.good td{background:#e8f5e9}\
+         .note{color:#666;font-size:.85rem}\
+         .legend{font-size:.8rem;color:#444;margin:.2rem 0 .8rem}\
+         .legend span{margin-right:1rem}\
+         .legend i{display:inline-block;width:.8em;height:.8em;margin-right:.3em;\
+              vertical-align:-0.05em}\
+         code{background:#f5f5f5;padding:0 .2em}\
+         </style></head><body>",
+    );
+    let _ = write!(
+        out,
+        "<h1>cachesim run report</h1>\
+         <p class=\"note\">Run directory: <code>{}</code></p>",
+        escaped(&run.dir.display().to_string())
+    );
+
+    if let Some((baseline, deltas, threshold)) = compare {
+        render_compare_table(&mut out, &baseline.dir, deltas, threshold);
+    }
+    render_timeline_charts(&mut out, run);
+    if let Some(heatmap) = &run.heatmap {
+        render_heatmap(&mut out, heatmap);
+    }
+    if let Some(summary) = &run.summary {
+        out.push_str("<h2>Run summary</h2>");
+        render_summary_tables(&mut out, summary);
+    }
+    out.push_str("</body></html>");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Subcommand driver
+// ---------------------------------------------------------------------------
+
+fn threshold_from_env() -> f64 {
+    std::env::var("AC_REPORT_MAX_REGRESSION_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_REGRESSION_PCT)
+}
+
+/// Runs `cachesim report <run-dir> [--compare <old-run-dir>] [--out <file>]
+/// [--threshold <pct>]`; returns the process exit code.
+pub fn run_report_subcommand(rest: &[String]) -> i32 {
+    let mut run_dir: Option<PathBuf> = None;
+    let mut compare_dir: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut threshold: Option<f64> = None;
+
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i].as_str();
+        let take_operand = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            rest.get(*i).cloned()
+        };
+        match arg {
+            "--compare" => {
+                let Some(v) = take_operand(&mut i) else {
+                    eprintln!("error: `--compare` requires a run-directory operand");
+                    return EXIT_INVALID_INPUT;
+                };
+                compare_dir = Some(PathBuf::from(v));
+            }
+            "--out" => {
+                let Some(v) = take_operand(&mut i) else {
+                    eprintln!("error: `--out` requires a file operand");
+                    return EXIT_INVALID_INPUT;
+                };
+                out_path = Some(PathBuf::from(v));
+            }
+            "--threshold" => {
+                let Some(v) = take_operand(&mut i) else {
+                    eprintln!("error: `--threshold` requires a percentage operand");
+                    return EXIT_INVALID_INPUT;
+                };
+                match v.parse::<f64>() {
+                    Ok(pct) if pct >= 0.0 => threshold = Some(pct),
+                    _ => {
+                        eprintln!("error: `--threshold` wants a non-negative number, got `{v}`");
+                        return EXIT_INVALID_INPUT;
+                    }
+                }
+            }
+            _ if arg.starts_with("--") => {
+                eprintln!("error: unknown report flag `{arg}`");
+                return EXIT_INVALID_INPUT;
+            }
+            _ => {
+                if run_dir.is_some() {
+                    eprintln!("error: report takes exactly one run directory");
+                    return EXIT_INVALID_INPUT;
+                }
+                run_dir = Some(PathBuf::from(arg));
+            }
+        }
+        i += 1;
+    }
+    let Some(run_dir) = run_dir else {
+        eprintln!("error: usage: cachesim report <run-dir> [--compare <old-run-dir>] [--out <file>] [--threshold <pct>]");
+        return EXIT_INVALID_INPUT;
+    };
+    let threshold = threshold.unwrap_or_else(threshold_from_env);
+
+    let run = match RunArtifacts::load(&run_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_INVALID_INPUT;
+        }
+    };
+    let baseline = match &compare_dir {
+        Some(dir) => match RunArtifacts::load(dir) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return EXIT_INVALID_INPUT;
+            }
+        },
+        None => None,
+    };
+
+    let deltas: Vec<MetricDelta> = baseline
+        .as_ref()
+        .map(|b| compare_metrics(&extract_metrics(b), &extract_metrics(&run), threshold))
+        .unwrap_or_default();
+
+    let html = render_html(
+        &run,
+        baseline.as_ref().map(|b| (b, deltas.as_slice(), threshold)),
+    );
+    let out_path = out_path.unwrap_or_else(|| run.dir.join("report.html"));
+    if let Err(e) = write_atomic(&out_path, &html) {
+        eprintln!("error: could not write {}: {e}", out_path.display());
+        return EXIT_INVALID_INPUT;
+    }
+    println!("report: wrote {}", out_path.display());
+
+    if let Some(b) = &baseline {
+        let regressions: Vec<&MetricDelta> = deltas.iter().filter(|d| d.regressed).collect();
+        println!(
+            "compare: {} shared metrics vs {} ({} regression{} at ±{threshold}%)",
+            deltas.len(),
+            b.dir.display(),
+            regressions.len(),
+            if regressions.len() == 1 { "" } else { "s" },
+        );
+        for d in &deltas {
+            let tag = if d.regressed {
+                "REGRESSION"
+            } else if d.direction == Direction::Neutral {
+                "  (info)  "
+            } else {
+                "    ok    "
+            };
+            println!(
+                "  {tag} {:<52} {:>14} -> {:>14}  {:>9}%",
+                d.key,
+                fmt_val(d.old),
+                fmt_val(d.new),
+                if d.delta_pct.is_finite() {
+                    format!("{:+.2}", d.delta_pct)
+                } else {
+                    "+inf".to_string()
+                }
+            );
+        }
+        if !regressions.is_empty() {
+            return EXIT_REGRESSION;
+        }
+    }
+    0
+}
+
+/// Writes `content` to `path` via a sibling temp file + rename so readers
+/// never observe a half-written report.
+fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("html.tmp");
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        serde_json::from_str(s).expect("test JSON parses")
+    }
+
+    fn timeline_row(run: &str, end: u64, misses: u64, insts: u64, tps: f64) -> Value {
+        v(&format!(
+            r#"{{"run":"{run}","unit":"accesses","end":{end},"misses":{misses},
+               "instructions":{insts},"mpki":{},"imit_frac_b":0.5,
+               "ticks_per_sec":{tps},"excl_a_misses":1,"excl_b_misses":2,
+               "leader_votes":0,"psel":null,"mshr_busy":0,"sb_busy":0}}"#,
+            1000.0 * misses as f64 / insts as f64
+        ))
+    }
+
+    fn sample_run(misses: u64, rate: f64) -> RunArtifacts {
+        RunArtifacts {
+            dir: PathBuf::from("/tmp/run"),
+            summary: Some(v(&format!(
+                r#"{{"schema_version":2,
+                    "counters":{{"l2_misses":{{"policy=adaptive":{misses}}},
+                                 "l2_hits":{{"policy=adaptive":900}}}},
+                    "gauges":{{"accesses_per_sec":{{"run=x":{rate}}}}},
+                    "histograms":{{}},"spans":{{}},
+                    "log":{{"error":0,"warn":0,"info":0,"debug":0}},
+                    "events":{{"seen":10,"recorded":10,"sample_rate":1}}}}"#
+            ))),
+            timeline: vec![
+                timeline_row("functional x", 100, misses / 2, 1000, rate),
+                timeline_row("functional x", 200, misses / 2, 1000, rate),
+            ],
+            heatmap: None,
+        }
+    }
+
+    #[test]
+    fn metric_extraction_assigns_directions() {
+        let run = sample_run(100, 5000.0);
+        let metrics = extract_metrics(&run);
+        let find = |key: &str| {
+            metrics
+                .iter()
+                .find(|m| m.key == key)
+                .unwrap_or_else(|| panic!("metric {key} missing from {metrics:?}"))
+        };
+        assert_eq!(
+            find("counter:l2_misses{policy=adaptive}").direction,
+            Direction::LowerBetter
+        );
+        assert_eq!(
+            find("counter:l2_hits{policy=adaptive}").direction,
+            Direction::Neutral
+        );
+        assert_eq!(
+            find("gauge:accesses_per_sec{run=x}").direction,
+            Direction::HigherBetter
+        );
+        let mpki = find("timeline:functional x:mpki");
+        assert_eq!(mpki.direction, Direction::LowerBetter);
+        // 100 misses over 2000 instructions across the two windows.
+        assert!((mpki.value - 50.0).abs() < 1e-9, "mpki = {}", mpki.value);
+    }
+
+    #[test]
+    fn self_compare_has_zero_deltas_and_no_regressions() {
+        let run = sample_run(100, 5000.0);
+        let metrics = extract_metrics(&run);
+        let deltas = compare_metrics(&metrics, &metrics, 10.0);
+        assert!(!deltas.is_empty());
+        for d in &deltas {
+            assert_eq!(d.delta_pct, 0.0, "{} moved on self-compare", d.key);
+            assert!(!d.regressed);
+        }
+    }
+
+    #[test]
+    fn regressions_flag_only_bad_directional_moves() {
+        let old = extract_metrics(&sample_run(100, 5000.0));
+        // Misses up 50% (bad), throughput up 50% (good).
+        let new = extract_metrics(&sample_run(150, 7500.0));
+        let deltas = compare_metrics(&old, &new, 10.0);
+        let find = |key: &str| deltas.iter().find(|d| d.key == key).expect(key);
+        assert!(find("counter:l2_misses{policy=adaptive}").regressed);
+        assert!(find("timeline:functional x:mpki").regressed);
+        assert!(!find("gauge:accesses_per_sec{run=x}").regressed);
+        // Reverse the comparison: throughput drops 33% → regression.
+        let deltas = compare_metrics(&new, &old, 10.0);
+        assert!(
+            deltas
+                .iter()
+                .find(|d| d.key == "gauge:accesses_per_sec{run=x}")
+                .expect("throughput metric")
+                .regressed
+        );
+    }
+
+    #[test]
+    fn zero_baseline_handling() {
+        let old = [Metric {
+            key: "counter:l2_misses{x}".into(),
+            value: 0.0,
+            direction: Direction::LowerBetter,
+        }];
+        let same = compare_metrics(&old, &old, 10.0);
+        assert_eq!(same[0].delta_pct, 0.0);
+        assert!(!same[0].regressed);
+        let new = [Metric {
+            key: "counter:l2_misses{x}".into(),
+            value: 7.0,
+            direction: Direction::LowerBetter,
+        }];
+        let grew = compare_metrics(&old, &new, 10.0);
+        assert!(grew[0].delta_pct.is_infinite());
+        assert!(grew[0].regressed);
+    }
+
+    #[test]
+    fn html_is_self_contained() {
+        let run = sample_run(100, 5000.0);
+        let html = render_html(&run, None);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("Windowed MPKI"));
+        // No external fetches of any kind (the SVG xmlns attribute is an
+        // inert namespace identifier, not a URL the renderer loads).
+        for needle in ["<script", "<link", "@import", "href=", "src="] {
+            assert!(
+                !html.contains(needle),
+                "report HTML must be self-contained but contains `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn html_escapes_hostile_labels() {
+        let mut run = sample_run(100, 5000.0);
+        run.timeline = vec![timeline_row("functional x", 100, 10, 1000, 1.0)];
+        if let Some(Value::Object(_)) = &run.summary {
+            // Inject a hostile counter label through the parser.
+            run.summary = Some(v(r#"{"counters":{"evil<name>":{"l=\"<script>\"":3}},
+                    "gauges":{},"events":{"seen":0,"recorded":0,"sample_rate":1}}"#));
+        }
+        let html = render_html(&run, None);
+        assert!(!html.contains("<script>"));
+        assert!(html.contains("&lt;script&gt;"));
+        assert!(html.contains("evil&lt;name&gt;"));
+    }
+
+    #[test]
+    fn heatmap_renders_cells() {
+        let mut run = sample_run(10, 1.0);
+        run.heatmap = Some(v(
+            r#"{"schema_version":1,"window_events":64,"set_stride":2,"events":6,
+                "windows":[{"start_seq":0,"end_seq":64,
+                  "sets":[{"set":0,"imit_a":3,"imit_b":1,"miss_a":2,"miss_b":0},
+                          {"set":2,"imit_a":0,"imit_b":5,"miss_a":0,"miss_b":4}]}]}"#,
+        ));
+        let html = render_html(&run, None);
+        assert!(html.contains("Per-set decision heatmap"));
+        assert!(html.contains("set 0"));
+        assert!(html.contains("set 2"));
+        assert!(html.contains("<rect"));
+    }
+}

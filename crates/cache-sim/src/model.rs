@@ -37,6 +37,22 @@ pub trait CacheModel: fmt::Debug + Send {
             self.stats().flush_telemetry(&self.label());
         }
     }
+
+    /// Cumulative counters for windowed time-series recording
+    /// (`ac_telemetry::timeline`). The default covers the plain
+    /// hit/miss statistics; adaptive organisations override it to add
+    /// shadow/exclusive-miss, imitation and selector state. Must be
+    /// cheap and allocation-free: the drivers call it at every window
+    /// boundary.
+    fn timeline_probe(&self) -> ac_telemetry::TimelineProbe {
+        let s = self.stats();
+        ac_telemetry::TimelineProbe {
+            accesses: s.accesses,
+            hits: s.hits,
+            misses: s.misses,
+            ..ac_telemetry::TimelineProbe::default()
+        }
+    }
 }
 
 impl<T: CacheModel + ?Sized> CacheModel for Box<T> {
@@ -51,6 +67,12 @@ impl<T: CacheModel + ?Sized> CacheModel for Box<T> {
     }
     fn label(&self) -> String {
         (**self).label()
+    }
+    fn flush_telemetry(&self) {
+        (**self).flush_telemetry()
+    }
+    fn timeline_probe(&self) -> ac_telemetry::TimelineProbe {
+        (**self).timeline_probe()
     }
 }
 

@@ -186,6 +186,8 @@ pub struct AdaptiveCache<A: ReplacementPolicy = PolicyKind, B: ReplacementPolicy
     aliasing_fallbacks: u64,
     imitations_a: u64,
     imitations_b: u64,
+    excl_a_misses: u64,
+    excl_b_misses: u64,
 }
 
 impl AdaptiveCache {
@@ -238,6 +240,8 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> AdaptiveCache<A, B> {
             aliasing_fallbacks: 0,
             imitations_a: 0,
             imitations_b: 0,
+            excl_a_misses: 0,
+            excl_b_misses: 0,
         }
     }
 
@@ -262,6 +266,13 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> AdaptiveCache<A, B> {
     /// `(a, b)`.
     pub fn imitation_totals(&self) -> (u64, u64) {
         (self.imitations_a, self.imitations_b)
+    }
+
+    /// Total *exclusive* misses per component, as `(a, b)`: references
+    /// where exactly one shadow missed — the only references that train
+    /// the per-set histories (Section 3.1).
+    pub fn exclusive_miss_totals(&self) -> (u64, u64) {
+        (self.excl_a_misses, self.excl_b_misses)
     }
 
     /// Statistics of the shadow array for `c` — i.e. the miss behaviour the
@@ -354,7 +365,10 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> AdaptiveCache<A, B> {
                 Component::B => self.shadow_b.policy().name() == "LRU",
             };
             if is_lru {
-                return (recency.victim(set, &mut self.rng), EvictionCase::LruShortcut);
+                return (
+                    recency.victim(set, &mut self.rng),
+                    EvictionCase::LruShortcut,
+                );
             }
         }
         // Case 2: make the adaptive contents converge towards the imitated
@@ -403,6 +417,11 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> CacheModel for AdaptiveCache<A,
         if acc_a.hit != acc_b.hit {
             // Exclusive miss: the only kind of reference that moves the
             // history towards one component.
+            if acc_a.hit {
+                self.excl_b_misses += 1;
+            } else {
+                self.excl_a_misses += 1;
+            }
             ac_telemetry::decision(|| DecisionEvent::HistoryUpdate {
                 set: set as u32,
                 a_missed: !acc_a.hit,
@@ -466,10 +485,7 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> CacheModel for AdaptiveCache<A,
                 self.stats.writebacks += 1;
             }
             Eviction {
-                block: self
-                    .real
-                    .geometry()
-                    .block_from_parts(old.tag.raw(), set),
+                block: self.real.geometry().block_from_parts(old.tag.raw(), set),
                 dirty: old.dirty,
             }
         });
@@ -504,6 +520,23 @@ impl<A: ReplacementPolicy, B: ReplacementPolicy> CacheModel for AdaptiveCache<A,
             g.associativity(),
             tags
         )
+    }
+
+    fn timeline_probe(&self) -> ac_telemetry::TimelineProbe {
+        ac_telemetry::TimelineProbe {
+            accesses: self.stats.accesses,
+            hits: self.stats.hits,
+            misses: self.stats.misses,
+            shadow_a_misses: self.shadow_a.stats().misses,
+            shadow_b_misses: self.shadow_b.stats().misses,
+            excl_a_misses: self.excl_a_misses,
+            excl_b_misses: self.excl_b_misses,
+            imitations_a: self.imitations_a,
+            imitations_b: self.imitations_b,
+            aliasing_fallbacks: self.aliasing_fallbacks,
+            leader_votes: 0,
+            psel: None,
+        }
     }
 }
 
@@ -707,8 +740,7 @@ mod tests {
     #[test]
     fn tiny_partial_tags_fall_back_but_do_not_crash() {
         let g = Geometry::new(512 * 1024, 64, 8).unwrap();
-        let cfg = AdaptiveConfig::paper_default()
-            .shadow_tag_mode(TagMode::PartialLow { bits: 1 });
+        let cfg = AdaptiveConfig::paper_default().shadow_tag_mode(TagMode::PartialLow { bits: 1 });
         let mut c = AdaptiveCache::new(g, cfg, 3);
         let mut x = 7u64;
         for _ in 0..200_000 {

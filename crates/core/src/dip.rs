@@ -85,6 +85,8 @@ pub struct DipCache {
     psel_max: u32,
     /// Fill counter driving BIP's deterministic 1-in-epsilon promotion.
     fills: u64,
+    /// Leader-set misses that trained the dueling counter.
+    duel_votes: u64,
     /// Seeded RNG for the policy victim call (LRU never consults it, so
     /// DIP remains fully deterministic).
     rng: SmallRng,
@@ -123,6 +125,7 @@ impl DipCache {
             psel: psel_max / 2,
             psel_max,
             fills: 0,
+            duel_votes: 0,
             rng: SmallRng::seed_from_u64(seed),
             stats: CacheStats::default(),
             config,
@@ -137,6 +140,16 @@ impl DipCache {
     /// Whether the follower sets currently use BIP insertion.
     pub fn bip_selected(&self) -> bool {
         self.psel > self.psel_max / 2
+    }
+
+    /// The current value of the dueling counter.
+    pub fn psel(&self) -> u32 {
+        self.psel
+    }
+
+    /// Total leader-set misses that trained the dueling counter.
+    pub fn duel_votes(&self) -> u64 {
+        self.duel_votes
     }
 
     /// Whether this set's insertion policy is BIP right now.
@@ -191,6 +204,7 @@ impl CacheModel for DipCache {
             SetRole::Follower => {}
         }
         if self.roles[set] != SetRole::Follower {
+            self.duel_votes += 1;
             ac_telemetry::decision(|| ac_telemetry::DecisionEvent::DuelVote {
                 set: set as u32,
                 bip_leader: self.roles[set] == SetRole::LeaderBip,
@@ -210,7 +224,11 @@ impl CacheModel for DipCache {
         // Insertion policy: MRU (normal LRU), or LRU-position (BIP)
         // with a deterministic 1-in-epsilon MRU promotion.
         self.recency.on_fill(set, way);
-        if self.uses_bip(set) && !self.fills.is_multiple_of(u64::from(self.config.bip_epsilon)) {
+        if self.uses_bip(set)
+            && !self
+                .fills
+                .is_multiple_of(u64::from(self.config.bip_epsilon))
+        {
             self.demote_to_lru(set, way);
         }
         if write {
@@ -248,6 +266,17 @@ impl CacheModel for DipCache {
             g.associativity(),
             self.config.leaders_per_policy
         )
+    }
+
+    fn timeline_probe(&self) -> ac_telemetry::TimelineProbe {
+        ac_telemetry::TimelineProbe {
+            accesses: self.stats.accesses,
+            hits: self.stats.hits,
+            misses: self.stats.misses,
+            leader_votes: self.duel_votes,
+            psel: Some(self.psel),
+            ..ac_telemetry::TimelineProbe::default()
+        }
     }
 }
 

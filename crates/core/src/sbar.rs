@@ -108,6 +108,9 @@ pub struct SbarCache {
     aliasing_fallbacks: u64,
     switches: u64,
     last_global: Component,
+    leader_votes: u64,
+    imitations_a: u64,
+    imitations_b: u64,
 }
 
 impl SbarCache {
@@ -149,6 +152,9 @@ impl SbarCache {
             aliasing_fallbacks: 0,
             switches: 0,
             last_global: Component::A,
+            leader_votes: 0,
+            imitations_a: 0,
+            imitations_b: 0,
             config,
         }
     }
@@ -172,6 +178,24 @@ impl SbarCache {
         self.switches
     }
 
+    /// The current value of the global policy-selector register.
+    pub fn psel(&self) -> u32 {
+        self.psel
+    }
+
+    /// Total leader votes that actually moved the selector (ties in
+    /// either direction do not train and are not counted).
+    pub fn leader_votes(&self) -> u64 {
+        self.leader_votes
+    }
+
+    /// Total replacement decisions that imitated each component —
+    /// leaders via Algorithm 1, followers via the global winner — as
+    /// `(a, b)`.
+    pub fn imitation_totals(&self) -> (u64, u64) {
+        (self.imitations_a, self.imitations_b)
+    }
+
     /// Aliasing-forced arbitrary evictions in leader sets (0 with full
     /// leader tags).
     pub fn aliasing_fallbacks(&self) -> u64 {
@@ -192,6 +216,7 @@ impl SbarCache {
         } else {
             self.psel = self.psel.saturating_sub(1);
         }
+        self.leader_votes += 1;
         let now = self.global_winner();
         if now != self.last_global {
             self.switches += 1;
@@ -215,6 +240,10 @@ impl SbarCache {
         acc_b: (bool, Option<Way>),
     ) -> usize {
         let winner = self.history[slot].winner();
+        match winner {
+            Component::A => self.imitations_a += 1,
+            Component::B => self.imitations_b += 1,
+        }
         let (way, case) = self.leader_victim_inner(set, winner, acc_a, acc_b);
         ac_telemetry::decision(|| DecisionEvent::Imitation {
             set: set as u32,
@@ -275,6 +304,10 @@ impl SbarCache {
     /// metadata.
     fn follower_victim(&mut self, set: usize) -> usize {
         let global = self.global_winner();
+        match global {
+            Component::A => self.imitations_a += 1,
+            Component::B => self.imitations_b += 1,
+        }
         ac_telemetry::decision(|| DecisionEvent::Imitation {
             set: set as u32,
             component: global.telemetry(),
@@ -364,6 +397,23 @@ impl CacheModel for SbarCache {
             g.associativity(),
             self.config.leader_sets
         )
+    }
+
+    fn timeline_probe(&self) -> ac_telemetry::TimelineProbe {
+        ac_telemetry::TimelineProbe {
+            accesses: self.stats.accesses,
+            hits: self.stats.hits,
+            misses: self.stats.misses,
+            shadow_a_misses: self.shadow_a.stats().misses,
+            shadow_b_misses: self.shadow_b.stats().misses,
+            excl_a_misses: 0,
+            excl_b_misses: 0,
+            imitations_a: self.imitations_a,
+            imitations_b: self.imitations_b,
+            aliasing_fallbacks: self.aliasing_fallbacks,
+            leader_votes: self.leader_votes,
+            psel: Some(self.psel),
+        }
     }
 }
 

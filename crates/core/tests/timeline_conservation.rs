@@ -1,0 +1,140 @@
+//! Property test: windowed timeline deltas are *conservative*. However
+//! the recording cadence falls (every access, every k accesses, ragged
+//! tails) and however often the bounded ring coarsens, the field-wise sum
+//! over all emitted windows must equal the cache's own end-of-run
+//! counters exactly — the same `CacheStats` and Figure-7 totals the
+//! figures are built from. A timeline that drops or double-counts a
+//! window would silently skew every windowed-MPKI and imitation-fraction
+//! chart in the run report.
+
+use ac_telemetry::{Timeline, TimelineGauges, TimelineProbe};
+use adaptive_cache::{AdaptiveCache, AdaptiveConfig};
+use cache_sim::{BlockAddr, CacheModel, Geometry, TagMode};
+use proptest::prelude::*;
+
+/// Small geometry keeps sets saturated so Algorithm 1 (not the
+/// invalid-way fill path) decides most victims.
+fn small_geom() -> Geometry {
+    Geometry::new(16 * 1024, 64, 8).unwrap()
+}
+
+/// Field-wise sum of the per-window deltas.
+fn sum_windows(tl: &Timeline) -> TimelineProbe {
+    let mut total = TimelineProbe::default();
+    for w in tl.windows() {
+        total = total.merged_with(&w.d);
+    }
+    total
+}
+
+fn drive(
+    config: AdaptiveConfig,
+    seed: u64,
+    addrs: &[(u64, bool)],
+    probe_every: u64,
+    window: u64,
+    capacity: usize,
+) {
+    let mut cache = AdaptiveCache::new(small_geom(), config, seed);
+    let mut tl = Timeline::new("conservation".into(), "accesses", window, capacity);
+    for (i, &(a, write)) in addrs.iter().enumerate() {
+        cache.access(BlockAddr::new(a), write);
+        let tick = (i + 1) as u64;
+        if tick.is_multiple_of(probe_every) && tl.due(tick) {
+            tl.record(
+                tick,
+                tick,
+                cache.timeline_probe(),
+                TimelineGauges::default(),
+            );
+        }
+    }
+    let final_probe = cache.timeline_probe();
+    tl.close(
+        addrs.len() as u64,
+        addrs.len() as u64,
+        final_probe,
+        TimelineGauges::default(),
+    );
+
+    assert!(
+        tl.windows().len() <= capacity,
+        "ring exceeded its bound: {} windows > capacity {capacity}",
+        tl.windows().len()
+    );
+    let total = sum_windows(&tl);
+    assert_eq!(
+        total, final_probe,
+        "window deltas do not sum to the end-of-run counters \
+         (probe_every={probe_every}, window={window}, capacity={capacity})"
+    );
+
+    // Cross-check the probe itself against the cache's public accessors,
+    // so the conservation claim is anchored to the figures' ground truth
+    // and not just to whatever `timeline_probe` happens to report.
+    let stats = cache.stats();
+    assert_eq!(total.accesses, stats.accesses);
+    assert_eq!(total.hits, stats.hits);
+    assert_eq!(total.misses, stats.misses);
+    assert_eq!(
+        (total.imitations_a, total.imitations_b),
+        cache.imitation_totals(),
+        "Figure-7 imitation counters"
+    );
+    assert_eq!(
+        (total.excl_a_misses, total.excl_b_misses),
+        cache.exclusive_miss_totals()
+    );
+    assert_eq!(total.aliasing_fallbacks, cache.aliasing_fallbacks());
+
+    // Coverage: the emitted windows tile [start of run, last tick] with
+    // no gaps or overlaps even after in-place coarsening.
+    let mut expected_start = 0;
+    for w in tl.windows() {
+        assert_eq!(
+            w.start_tick, expected_start,
+            "window coverage gap after coarsening"
+        );
+        assert!(w.end_tick > w.start_tick);
+        expected_start = w.end_tick;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Full shadow tags; tiny windows and a small ring force repeated
+    /// coarsening while the totals must stay exact.
+    #[test]
+    fn window_sums_match_run_totals_full_tags(
+        addrs in proptest::collection::vec((0u64..2048, any::<bool>()), 1..600),
+        seed in any::<u64>(),
+        probe_every in 1u64..40,
+        window in 1u64..64,
+        capacity in 2usize..10,
+    ) {
+        drive(
+            AdaptiveConfig::paper_full_tags(),
+            seed,
+            &addrs,
+            probe_every,
+            window,
+            capacity,
+        );
+    }
+
+    /// Partial 2-bit shadow tags alias aggressively, so the aliasing
+    /// fallback and exclusive-miss counters are exercised too.
+    #[test]
+    fn window_sums_match_run_totals_heavy_aliasing(
+        addrs in proptest::collection::vec((0u64..4096, any::<bool>()), 1..500),
+        seed in any::<u64>(),
+        probe_every in 1u64..25,
+        window in 1u64..48,
+        capacity in 2usize..8,
+    ) {
+        let config = AdaptiveConfig::paper_default()
+            .shadow_tag_mode(TagMode::PartialLow { bits: 2 });
+        drive(config, seed, &addrs, probe_every, window, capacity);
+    }
+}

@@ -32,7 +32,11 @@ pub struct HierAccess {
 /// also evaluates adaptive L1s), SBAR caches, etc. The L1 parameters
 /// default to conventional LRU caches built from the [`CpuConfig`].
 #[derive(Debug)]
-pub struct Hierarchy<L2: CacheModel, L1I: CacheModel = Cache<PolicyKind>, L1D: CacheModel = Cache<PolicyKind>> {
+pub struct Hierarchy<
+    L2: CacheModel,
+    L1I: CacheModel = Cache<PolicyKind>,
+    L1D: CacheModel = Cache<PolicyKind>,
+> {
     l1i: L1I,
     l1d: L1D,
     l2: L2,
@@ -48,8 +52,8 @@ pub struct Hierarchy<L2: CacheModel, L1I: CacheModel = Cache<PolicyKind>, L1D: C
 }
 
 fn build_l1(p: CacheParams, seed: u64) -> (Cache<PolicyKind>, Geometry) {
-    let geom = Geometry::new(p.size_bytes, p.line_bytes, p.associativity)
-        .expect("invalid L1 geometry");
+    let geom =
+        Geometry::new(p.size_bytes, p.line_bytes, p.associativity).expect("invalid L1 geometry");
     (Cache::new(geom, PolicyKind::Lru, seed), geom)
 }
 
@@ -200,8 +204,7 @@ impl<L2: CacheModel, L1I: CacheModel, L1D: CacheModel> Hierarchy<L2, L1I, L1D> {
             self.demand_l2_misses += 1;
         }
         self.score_and_prefetch(block, out.hit, out.eviction);
-        let memory_writebacks =
-            u32::from(out.eviction.map(|e| e.dirty).unwrap_or(false));
+        let memory_writebacks = u32::from(out.eviction.map(|e| e.dirty).unwrap_or(false));
         HierAccess {
             level: if out.hit { Level::L2 } else { Level::Memory },
             memory_writebacks,
@@ -308,6 +311,12 @@ where
     });
     let mut stats = FunctionalStats::default();
     let started = std::time::Instant::now();
+    // Ticks in units of L2-visible work (fetch-block lookups + data
+    // references); `None` unless a hub with timelines enabled is
+    // installed, so the disabled path costs one branch per instruction.
+    let mut timeline = ac_telemetry::Timeline::from_hub("accesses", || {
+        format!("functional {}", hierarchy.l2().label())
+    });
     let mut last_iblock = u64::MAX;
     for inst in trace.take(max_insts as usize) {
         stats.instructions += 1;
@@ -322,6 +331,25 @@ where
             let write = matches!(inst.kind, workloads::InstKind::Store { .. });
             hierarchy.data_access(addr, write);
         }
+        if let Some(tl) = timeline.as_mut() {
+            let ticks = stats.inst_fetches + stats.data_accesses;
+            if tl.due(ticks) {
+                tl.record(
+                    ticks,
+                    stats.instructions,
+                    hierarchy.l2().timeline_probe(),
+                    ac_telemetry::TimelineGauges::default(),
+                );
+            }
+        }
+    }
+    if let Some(tl) = timeline {
+        tl.finish(
+            stats.inst_fetches + stats.data_accesses,
+            stats.instructions,
+            hierarchy.l2().timeline_probe(),
+            ac_telemetry::TimelineGauges::default(),
+        );
     }
     stats.l1d_misses = hierarchy.l1d_stats().misses;
     stats.l1i_misses = hierarchy.l1i_stats().misses;
@@ -352,12 +380,8 @@ mod tests {
 
     fn hier() -> Hierarchy<Cache<PolicyKind>> {
         let cfg = CpuConfig::paper_default();
-        let geom = Geometry::new(
-            cfg.l2.size_bytes,
-            cfg.l2.line_bytes,
-            cfg.l2.associativity,
-        )
-        .unwrap();
+        let geom =
+            Geometry::new(cfg.l2.size_bytes, cfg.l2.line_bytes, cfg.l2.associativity).unwrap();
         Hierarchy::new(&cfg, Cache::new(geom, PolicyKind::Lru, 7))
     }
 
@@ -406,9 +430,14 @@ mod tests {
     #[test]
     fn functional_run_counts() {
         let mut h = hier();
-        let trace = (0..1000u64).map(|i| Inst::free(0x40_0000 + (i % 16) * 4, InstKind::Load {
-            addr: (i % 50) * 64,
-        }));
+        let trace = (0..1000u64).map(|i| {
+            Inst::free(
+                0x40_0000 + (i % 16) * 4,
+                InstKind::Load {
+                    addr: (i % 50) * 64,
+                },
+            )
+        });
         let s = run_functional(&mut h, trace, 1000);
         assert_eq!(s.instructions, 1000);
         assert_eq!(s.data_accesses, 1000);
@@ -443,12 +472,8 @@ mod prefetch_integration_tests {
 
     fn hier_with(pf: PrefetchKind) -> Hierarchy<Cache<PolicyKind>> {
         let cfg = CpuConfig::paper_default();
-        let geom = Geometry::new(
-            cfg.l2.size_bytes,
-            cfg.l2.line_bytes,
-            cfg.l2.associativity,
-        )
-        .unwrap();
+        let geom =
+            Geometry::new(cfg.l2.size_bytes, cfg.l2.line_bytes, cfg.l2.associativity).unwrap();
         let mut h = Hierarchy::new(&cfg, Cache::new(geom, PolicyKind::Lru, 7));
         h.set_prefetcher(pf.build());
         h
@@ -482,7 +507,10 @@ mod prefetch_integration_tests {
     fn adaptive_prefetcher_handles_strided_streams() {
         let strided = |n: u64| {
             (0..n).map(|i| {
-                Inst::free(0x40_0000 + (i % 16) * 4, InstKind::Load { addr: i * 5 * 64 })
+                Inst::free(
+                    0x40_0000 + (i % 16) * 4,
+                    InstKind::Load { addr: i * 5 * 64 },
+                )
             })
         };
         let mut base = hier_with(PrefetchKind::None);
@@ -494,8 +522,18 @@ mod prefetch_integration_tests {
 
         // Next-line is useless on stride 5; adaptive must fall back to the
         // stride component and beat both the baseline and next-line.
-        assert!(a.l2_misses < b.l2_misses, "{} vs base {}", a.l2_misses, b.l2_misses);
-        assert!(a.l2_misses < nl.l2_misses, "{} vs next-line {}", a.l2_misses, nl.l2_misses);
+        assert!(
+            a.l2_misses < b.l2_misses,
+            "{} vs base {}",
+            a.l2_misses,
+            b.l2_misses
+        );
+        assert!(
+            a.l2_misses < nl.l2_misses,
+            "{} vs next-line {}",
+            a.l2_misses,
+            nl.l2_misses
+        );
     }
 
     #[test]

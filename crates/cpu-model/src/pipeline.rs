@@ -49,6 +49,11 @@ impl TimeRing {
         self.times[self.idx] = t;
         self.idx = (self.idx + 1) % self.times.len();
     }
+
+    /// Entries still occupied at time `t` (occupancy gauge).
+    fn busy_at(&self, t: u64) -> u32 {
+        self.times.iter().filter(|&&x| x > t).count() as u32
+    }
 }
 
 /// A pool of identical resources, each tracked by its next-free time.
@@ -92,6 +97,11 @@ impl Pool {
     /// Completes a two-phase acquisition: slot `slot` is busy until `until`.
     fn end(&mut self, slot: usize, until: u64) {
         self.free_at[slot] = until;
+    }
+
+    /// Units still occupied at time `t` (occupancy gauge).
+    fn busy_at(&self, t: u64) -> u32 {
+        self.free_at.iter().filter(|&&x| x > t).count() as u32
     }
 }
 
@@ -151,7 +161,11 @@ impl RunStats {
 /// experiment of Section 4.6); use [`Pipeline::with_lru_l2`] for the
 /// conventional baseline or [`Pipeline::new`] with any [`CacheModel`].
 #[derive(Debug)]
-pub struct Pipeline<L2: CacheModel, L1I: CacheModel = Cache<PolicyKind>, L1D: CacheModel = Cache<PolicyKind>> {
+pub struct Pipeline<
+    L2: CacheModel,
+    L1I: CacheModel = Cache<PolicyKind>,
+    L1D: CacheModel = Cache<PolicyKind>,
+> {
     config: CpuConfig,
     hierarchy: Hierarchy<L2, L1I, L1D>,
     predictor: BranchPredictor,
@@ -323,7 +337,8 @@ impl<L2: CacheModel, L1I: CacheModel, L1D: CacheModel> Pipeline<L2, L1I, L1D> {
                 Level::L1 => 0,
                 Level::L2 => u64::from(c.l2.hit_latency),
                 Level::Memory => {
-                    u64::from(c.l2.hit_latency) + u64::from(c.mem_latency)
+                    u64::from(c.l2.hit_latency)
+                        + u64::from(c.mem_latency)
                         + u64::from(c.bus_transfer_cycles())
                 }
             };
@@ -405,9 +420,7 @@ impl<L2: CacheModel, L1I: CacheModel, L1D: CacheModel> Pipeline<L2, L1I, L1D> {
                 } else {
                     self.pending_drain_cost = match acc.level {
                         Level::L1 => u64::from(c.l1d.hit_latency),
-                        Level::L2 => {
-                            u64::from(c.l1d.hit_latency) + u64::from(c.l2.hit_latency)
-                        }
+                        Level::L2 => u64::from(c.l1d.hit_latency) + u64::from(c.l2.hit_latency),
                         Level::Memory => {
                             u64::from(c.l1d.hit_latency)
                                 + u64::from(c.l2.hit_latency)
@@ -482,8 +495,41 @@ impl<L2: CacheModel, L1I: CacheModel, L1D: CacheModel> Pipeline<L2, L1I, L1D> {
         let _span = ac_telemetry::span("cpu", || {
             format!("pipeline_run {}", self.hierarchy.l2().label())
         });
+        // Ticks in cycles; window boundaries also sample MSHR and
+        // store-buffer occupancy at the current retirement time.
+        let mut timeline = ac_telemetry::Timeline::from_hub("cycles", || {
+            format!("pipeline {}", self.hierarchy.l2().label())
+        });
         for inst in trace.take(max_insts as usize) {
             self.step(&inst);
+            if let Some(tl) = timeline.as_mut() {
+                let now = self.last_retire;
+                if tl.due(now) {
+                    let gauges = ac_telemetry::TimelineGauges {
+                        mshr_busy: self.mshrs.busy_at(now),
+                        sb_busy: self.store_buffer.busy_at(now),
+                    };
+                    tl.record(
+                        now,
+                        self.instructions,
+                        self.hierarchy.l2().timeline_probe(),
+                        gauges,
+                    );
+                }
+            }
+        }
+        if let Some(tl) = timeline.take() {
+            let now = self.last_retire;
+            let gauges = ac_telemetry::TimelineGauges {
+                mshr_busy: self.mshrs.busy_at(now),
+                sb_busy: self.store_buffer.busy_at(now),
+            };
+            tl.finish(
+                now,
+                self.instructions,
+                self.hierarchy.l2().timeline_probe(),
+                gauges,
+            );
         }
         let stats = self.stats();
         if ac_telemetry::enabled() {
@@ -529,7 +575,9 @@ mod tests {
         // bounded by the 4 integer ALUs (CPI 0.25), not the 8-wide front
         // end — exactly Table 1's resource mix.
         let mut p = pipe();
-        let insts: Vec<Inst> = (0..200_000u64).map(|i| alu(0x40_0000 + (i % 16) * 4)).collect();
+        let insts: Vec<Inst> = (0..200_000u64)
+            .map(|i| alu(0x40_0000 + (i % 16) * 4))
+            .collect();
         let s = p.run(insts.into_iter(), 200_000);
         let cpi = s.cpi();
         assert!(cpi < 0.27, "ALU-bound CPI should be ~0.25, got {cpi}");
@@ -548,8 +596,16 @@ mod tests {
             })
             .collect();
         let s = p.run(insts.into_iter(), 50_000);
-        assert!(s.cpi() > 0.9, "serial chain must serialise, cpi={}", s.cpi());
-        assert!(s.cpi() < 1.3, "chain of 1-cycle ops stays near 1, cpi={}", s.cpi());
+        assert!(
+            s.cpi() > 0.9,
+            "serial chain must serialise, cpi={}",
+            s.cpi()
+        );
+        assert!(
+            s.cpi() < 1.3,
+            "chain of 1-cycle ops stays near 1, cpi={}",
+            s.cpi()
+        );
     }
 
     #[test]
@@ -660,12 +716,10 @@ mod tests {
     fn branch_mispredictions_cost_cycles() {
         let mk = |hard: f64| -> Vec<Inst> {
             let spec = workloads::WorkloadSpec {
-                pattern: workloads::AccessPattern::single(
-                    workloads::BasePattern::LinearScan {
-                        region_blocks: 64,
-                        stride: 1,
-                    },
-                ),
+                pattern: workloads::AccessPattern::single(workloads::BasePattern::LinearScan {
+                    region_blocks: 64,
+                    stride: 1,
+                }),
                 mix: MixSpec {
                     mem_ratio: 0.05,
                     branch_ratio: 0.3,
@@ -694,12 +748,10 @@ mod tests {
         // lowers fetch throughput.
         let mk = |code: workloads::CodeSpec| -> Vec<Inst> {
             let spec = workloads::WorkloadSpec {
-                pattern: workloads::AccessPattern::single(
-                    workloads::BasePattern::LinearScan {
-                        region_blocks: 64,
-                        stride: 1,
-                    },
-                ),
+                pattern: workloads::AccessPattern::single(workloads::BasePattern::LinearScan {
+                    region_blocks: 64,
+                    stride: 1,
+                }),
                 mix: MixSpec::int_default(),
                 code,
                 seed: 6,
@@ -718,7 +770,12 @@ mod tests {
             let mut p = pipe();
             let s = p.run(b.spec.generator(), 20_000);
             assert_eq!(s.instructions, 20_000, "{}", b.name);
-            assert!(s.cpi() > 0.1 && s.cpi() < 100.0, "{}: cpi={}", b.name, s.cpi());
+            assert!(
+                s.cpi() > 0.1 && s.cpi() < 100.0,
+                "{}: cpi={}",
+                b.name,
+                s.cpi()
+            );
         }
     }
 
@@ -815,12 +872,15 @@ mod write_combining_tests {
                 })
                 .collect()
         };
-        let base = Pipeline::with_lru_l2(CpuConfig::paper_default())
-            .run(mk().into_iter(), 40_000);
+        let base = Pipeline::with_lru_l2(CpuConfig::paper_default()).run(mk().into_iter(), 40_000);
         let wc = Pipeline::with_lru_l2(CpuConfig::paper_default().write_combining(true))
             .run(mk().into_iter(), 40_000);
         assert_eq!(base.wc_merged_stores, 0);
-        assert!(wc.wc_merged_stores > 30_000, "merged {}", wc.wc_merged_stores);
+        assert!(
+            wc.wc_merged_stores > 30_000,
+            "merged {}",
+            wc.wc_merged_stores
+        );
         assert!(
             wc.cycles < base.cycles,
             "write combining must relieve the store buffer ({} vs {})",
@@ -833,8 +893,7 @@ mod write_combining_tests {
     #[test]
     fn combining_flag_defaults_off_and_is_pure() {
         let b = workloads::primary_suite().remove(1);
-        let s1 = Pipeline::with_lru_l2(CpuConfig::paper_default())
-            .run(b.spec.generator(), 30_000);
+        let s1 = Pipeline::with_lru_l2(CpuConfig::paper_default()).run(b.spec.generator(), 30_000);
         let s2 = Pipeline::with_lru_l2(CpuConfig::paper_default().write_combining(false))
             .run(b.spec.generator(), 30_000);
         assert_eq!(s1, s2);

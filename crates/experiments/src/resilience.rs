@@ -359,7 +359,10 @@ impl<R> SweepReport<R> {
 
     /// Values of completed cells, in input order.
     pub fn values(&self) -> Vec<&R> {
-        self.cells.iter().filter_map(|c| c.outcome.value()).collect()
+        self.cells
+            .iter()
+            .filter_map(|c| c.outcome.value())
+            .collect()
     }
 
     /// One-line human summary (`9 cells: 8 ok, 1 failed, ...`).
@@ -475,12 +478,7 @@ where
 
 /// Runs one cell's attempt loop, recording per-cell telemetry (a `cell`
 /// span, wall-time histogram, outcome and retry counters).
-fn supervise_cell<T, R, F>(
-    key: &str,
-    cell: &T,
-    cfg: &SupervisorConfig,
-    f: &Arc<F>,
-) -> CellReport<R>
+fn supervise_cell<T, R, F>(key: &str, cell: &T, cfg: &SupervisorConfig, f: &Arc<F>) -> CellReport<R>
 where
     T: Clone + Send + 'static,
     R: Send + 'static,
@@ -525,9 +523,14 @@ where
         let (tx, rx) = mpsc::channel();
         let f = Arc::clone(f);
         let cell = cell.clone();
+        let scope_key = key.to_string();
         // Detached on purpose: a wedged cell cannot be killed, only
         // abandoned — the supervisor stops waiting and moves on.
         std::thread::spawn(move || {
+            // Label any timelines the cell records with its sweep key;
+            // the scope is thread-local, so it must be set here on the
+            // attempt thread, not on the supervisor thread.
+            let _scope = ac_telemetry::timeline::run_scope(&scope_key);
             let out = panic::catch_unwind(AssertUnwindSafe(|| f(cell)))
                 .unwrap_or_else(|p| Err(ExperimentError::Panic(panic_message(&*p))));
             let _ = tx.send(out);
@@ -573,11 +576,9 @@ where
 /// The journal line describing a settled cell.
 fn entry_of<R: Serialize>(report: &CellReport<R>) -> JournalEntry {
     let (status, value, error) = match &report.outcome {
-        CellOutcome::Done(r) | CellOutcome::Resumed(r) => (
-            JournalStatus::Ok,
-            serde_json::to_value(r).ok(),
-            None,
-        ),
+        CellOutcome::Done(r) | CellOutcome::Resumed(r) => {
+            (JournalStatus::Ok, serde_json::to_value(r).ok(), None)
+        }
         CellOutcome::Failed(e) => (JournalStatus::Failed, None, Some(e.to_string())),
         CellOutcome::TimedOut(d) => (
             JournalStatus::TimedOut,
@@ -618,12 +619,17 @@ mod tests {
             retries: 0,
             ..Default::default()
         };
-        let rep = run_sweep(&cells, &cfg, |c| format!("c{c}"), |c: u32| {
-            if c == 3 {
-                panic!("injected panic in cell 3");
-            }
-            Ok(c * 10)
-        })
+        let rep = run_sweep(
+            &cells,
+            &cfg,
+            |c| format!("c{c}"),
+            |c: u32| {
+                if c == 3 {
+                    panic!("injected panic in cell 3");
+                }
+                Ok(c * 10)
+            },
+        )
         .unwrap();
         assert_eq!(rep.done(), 5);
         assert_eq!(rep.failed(), 1);
@@ -646,12 +652,17 @@ mod tests {
             retries: 1,
             ..Default::default()
         };
-        let rep = run_sweep(&[1u32], &cfg, |_| "flaky".into(), move |_| {
-            if TRIES.fetch_add(1, Ordering::SeqCst) == 0 {
-                panic!("first attempt fails");
-            }
-            Ok(7u32)
-        })
+        let rep = run_sweep(
+            &[1u32],
+            &cfg,
+            |_| "flaky".into(),
+            move |_| {
+                if TRIES.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("first attempt fails");
+                }
+                Ok(7u32)
+            },
+        )
         .unwrap();
         assert_eq!(rep.done(), 1);
         assert_eq!(rep.cells[0].attempts, 2);
@@ -665,12 +676,17 @@ mod tests {
             retries: 0,
             ..Default::default()
         };
-        let rep = run_sweep(&[0u32, 1], &cfg, |c| format!("c{c}"), |c: u32| {
-            if c == 0 {
-                std::thread::sleep(Duration::from_millis(400));
-            }
-            Ok(c)
-        })
+        let rep = run_sweep(
+            &[0u32, 1],
+            &cfg,
+            |c| format!("c{c}"),
+            |c: u32| {
+                if c == 0 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                Ok(c)
+            },
+        )
         .unwrap();
         assert_eq!(rep.timed_out(), 1);
         assert_eq!(rep.done(), 1);
@@ -687,12 +703,17 @@ mod tests {
             ..Default::default()
         };
         let cells: Vec<u32> = (0..4).collect();
-        let rep = run_sweep(&cells, &cfg, |c| format!("c{c}"), |c: u32| {
-            if c == 2 {
-                panic!("boom");
-            }
-            Ok(c + 100)
-        })
+        let rep = run_sweep(
+            &cells,
+            &cfg,
+            |c| format!("c{c}"),
+            |c: u32| {
+                if c == 2 {
+                    panic!("boom");
+                }
+                Ok(c + 100)
+            },
+        )
         .unwrap();
         assert_eq!(rep.failed(), 1);
         let j = Journal::open(&path).unwrap();
@@ -755,7 +776,10 @@ mod tests {
             ..ok
         })
         .unwrap();
-        assert!(j.completed().is_empty(), "later failure invalidates the value");
+        assert!(
+            j.completed().is_empty(),
+            "later failure invalidates the value"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

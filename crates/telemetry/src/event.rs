@@ -6,6 +6,10 @@
 
 use crate::json::push_str_escaped;
 
+/// Schema version stamped on every `events.jsonl` line. Bumped to 2
+/// when the field itself was introduced (version-1 lines carry none).
+pub const EVENTS_SCHEMA_VERSION: u32 = 2;
+
 /// One of the two component policies of an adaptive organisation
 /// (mirrors `adaptive_cache::Component` without depending on it — this
 /// crate sits below the simulation crates).
@@ -133,7 +137,9 @@ impl EventRecord {
     /// The event as one JSONL line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         let mut s = String::with_capacity(96);
-        s.push_str("{\"seq\":");
+        s.push_str("{\"schema_version\":");
+        s.push_str(&EVENTS_SCHEMA_VERSION.to_string());
+        s.push_str(",\"seq\":");
         s.push_str(&self.seq.to_string());
         s.push_str(",\"t_us\":");
         s.push_str(&self.t_us.to_string());
@@ -203,8 +209,8 @@ mod tests {
         };
         assert_eq!(
             r.to_json_line(),
-            "{\"seq\":9,\"t_us\":1234,\"kind\":\"imitation\",\"set\":3,\
-             \"component\":\"B\",\"case\":\"not_in_shadow\"}"
+            "{\"schema_version\":2,\"seq\":9,\"t_us\":1234,\"kind\":\"imitation\",\
+             \"set\":3,\"component\":\"B\",\"case\":\"not_in_shadow\"}"
         );
     }
 

@@ -24,11 +24,25 @@ fn prom_name(name: &str) -> String {
     out
 }
 
-/// Escapes a Prometheus label value.
+/// Schema version stamped on `telemetry-summary.json`. Version 1 had
+/// no `schema_version` field.
+pub const SUMMARY_SCHEMA_VERSION: u32 = 2;
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote and line feed become `\\`, `\"` and `\n`.
+/// Single pass, so a backslash introduced by one rule can never be
+/// re-escaped by another.
 fn prom_label_value(v: &str) -> String {
-    v.replace('\\', "\\\\")
-        .replace('"', "\\\"")
-        .replace('\n', "\\n")
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl Telemetry {
@@ -117,6 +131,7 @@ impl Telemetry {
     /// statistics.
     pub fn summary_json(&self) -> String {
         let mut out = String::from("{");
+        let _ = write!(out, "\"schema_version\":{SUMMARY_SCHEMA_VERSION},");
 
         out.push_str("\"counters\":{");
         let counters = self.counters();
@@ -250,6 +265,36 @@ mod tests {
     fn prom_names_are_sanitised() {
         assert_eq!(prom_name("cell wall-time.us"), "ac_cell_wall_time_us");
         assert_eq!(prom_name("9lives"), "ac__9lives");
+    }
+
+    #[test]
+    fn prom_label_values_escape_hostile_strings() {
+        // The three characters the exposition format requires escaped.
+        assert_eq!(prom_label_value("back\\slash"), "back\\\\slash");
+        assert_eq!(prom_label_value("quo\"te"), "quo\\\"te");
+        assert_eq!(prom_label_value("new\nline"), "new\\nline");
+        // Order-sensitivity trap: escaping `\` after `"` (or any
+        // multi-pass scheme) would double-escape the backslash the
+        // quote rule introduced. `\"` must stay exactly `\\\"`.
+        assert_eq!(prom_label_value("\\\""), "\\\\\\\"");
+        assert_eq!(prom_label_value("a\\n"), "a\\\\n", "literal backslash-n");
+        // End to end: a hostile label can never break a sample line.
+        let t = Telemetry::new(TelemetryConfig::default());
+        t.counter_add("hostile_total", "evil \"label\"\nwith \\ tricks", 1);
+        let text = t.prometheus();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("ac_hostile_total{"))
+            .expect("hostile counter line present");
+        assert_eq!(
+            line,
+            "ac_hostile_total{label=\"evil \\\"label\\\"\\nwith \\\\ tricks\"} 1"
+        );
+        assert_eq!(
+            text.lines().filter(|l| l.contains("hostile")).count(),
+            2,
+            "TYPE line + one unbroken sample line"
+        );
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Per-set decision heatmap: `set × window → winning policy / miss
+//! density`, aggregated from the sampled decision-event stream.
+//!
+//! The aggregator rides inside [`crate::Telemetry::decision`]: every
+//! sampled [`DecisionEvent`] that names a set is bucketed by its stream
+//! position (`seq`) into fixed-width event windows, and within a window
+//! by set. Memory is bounded on both axes: sets are sampled by a
+//! configurable stride, and when the window axis outgrows its cap the
+//! aggregator coarsens the same way the timeline does (adjacent windows
+//! merge pairwise, window width doubles). The result is emitted as
+//! `heatmap.json` next to the other artifacts.
+
+use crate::event::{Comp, DecisionEvent};
+use crate::json::push_str_escaped;
+use std::collections::BTreeMap;
+
+/// Schema version stamped on `heatmap.json`.
+pub const HEATMAP_SCHEMA_VERSION: u32 = 1;
+
+/// Default event-window width (sampled events per heatmap column).
+pub const DEFAULT_HEATMAP_WINDOW: u64 = 4096;
+
+/// Default set-sampling stride (record sets `0, N, 2N, ...`).
+pub const DEFAULT_HEATMAP_STRIDE: u32 = 4;
+
+/// Window-axis cap; past this the heatmap coarsens.
+const MAX_WINDOWS: usize = 256;
+
+/// Accumulated decisions for one `(window, set)` cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeatCell {
+    /// Evictions in this cell that imitated component policy A.
+    pub imit_a: u64,
+    /// Evictions in this cell that imitated component policy B.
+    pub imit_b: u64,
+    /// Exclusive-miss history updates charged to policy A.
+    pub miss_a: u64,
+    /// Exclusive-miss history updates charged to policy B.
+    pub miss_b: u64,
+}
+
+impl HeatCell {
+    fn merge(&mut self, other: &HeatCell) {
+        self.imit_a += other.imit_a;
+        self.imit_b += other.imit_b;
+        self.miss_a += other.miss_a;
+        self.miss_b += other.miss_b;
+    }
+}
+
+/// One column of the heatmap: the sampled sets touched during an event
+/// window.
+#[derive(Debug, Clone, Default)]
+pub struct HeatWindow {
+    /// First event-stream position covered (inclusive).
+    pub start_seq: u64,
+    /// Last event-stream position covered (exclusive).
+    pub end_seq: u64,
+    /// Per-set accumulators, keyed by set index.
+    pub cells: BTreeMap<u32, HeatCell>,
+}
+
+impl HeatWindow {
+    fn merge_from(&mut self, later: HeatWindow) {
+        self.end_seq = later.end_seq;
+        for (set, cell) in later.cells {
+            self.cells.entry(set).or_default().merge(&cell);
+        }
+    }
+}
+
+/// The aggregator. Lives inside the hub's event path; use a standalone
+/// instance only in tests.
+#[derive(Debug)]
+pub struct HeatmapAggregator {
+    window_len: u64,
+    stride: u32,
+    windows: Vec<HeatWindow>,
+    events: u64,
+}
+
+impl HeatmapAggregator {
+    /// An aggregator with the given event-window width (clamped ≥ 1)
+    /// and set stride. Stride `0` disables the aggregator entirely.
+    pub fn new(window_events: u64, set_stride: u32) -> HeatmapAggregator {
+        HeatmapAggregator {
+            window_len: window_events.max(1),
+            stride: set_stride,
+            windows: Vec::new(),
+            events: 0,
+        }
+    }
+
+    /// Offers one sampled event at stream position `seq`. Events that
+    /// carry no set index (and sets off the sampling stride) are
+    /// dropped.
+    pub fn offer(&mut self, seq: u64, event: &DecisionEvent) {
+        if self.stride == 0 {
+            return;
+        }
+        let (set, imit, miss) = match *event {
+            DecisionEvent::Imitation { set, component, .. } => match component {
+                Comp::A => (set, (1, 0), (0, 0)),
+                Comp::B => (set, (0, 1), (0, 0)),
+            },
+            DecisionEvent::HistoryUpdate {
+                set,
+                a_missed,
+                b_missed,
+            } => (set, (0, 0), (u64::from(a_missed), u64::from(b_missed))),
+            DecisionEvent::LeaderVote { set, .. } | DecisionEvent::DuelVote { set, .. } => {
+                (set, (0, 0), (0, 0))
+            }
+        };
+        if !set.is_multiple_of(self.stride) {
+            return;
+        }
+        self.events += 1;
+        let needs_new = match self.windows.last() {
+            Some(w) => seq >= w.end_seq,
+            None => true,
+        };
+        if needs_new {
+            if self.windows.len() == MAX_WINDOWS {
+                self.coarsen();
+            }
+            let start = seq - (seq % self.window_len);
+            self.windows.push(HeatWindow {
+                start_seq: start,
+                end_seq: start + self.window_len,
+                cells: BTreeMap::new(),
+            });
+        }
+        // Late events from other threads land in the current window;
+        // seq ordering is only approximate across threads anyway.
+        let w = self.windows.last_mut().expect("window just ensured");
+        let cell = w.cells.entry(set).or_default();
+        cell.imit_a += imit.0;
+        cell.imit_b += imit.1;
+        cell.miss_a += miss.0;
+        cell.miss_b += miss.1;
+    }
+
+    fn coarsen(&mut self) {
+        let mut merged: Vec<HeatWindow> = Vec::with_capacity(self.windows.len() / 2 + 1);
+        let mut it = self.windows.drain(..);
+        while let Some(mut first) = it.next() {
+            if let Some(second) = it.next() {
+                first.merge_from(second);
+            }
+            merged.push(first);
+        }
+        drop(it);
+        self.windows = merged;
+        self.window_len = self.window_len.saturating_mul(2);
+    }
+
+    /// Whether any event has been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Total events accepted (post stride-sampling).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The heatmap columns, oldest first.
+    pub fn windows(&self) -> &[HeatWindow] {
+        &self.windows
+    }
+
+    /// Serializes the heatmap as a single JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema_version\": ");
+        out.push_str(&HEATMAP_SCHEMA_VERSION.to_string());
+        out.push_str(",\n  \"window_events\": ");
+        out.push_str(&self.window_len.to_string());
+        out.push_str(",\n  \"set_stride\": ");
+        out.push_str(&self.stride.to_string());
+        out.push_str(",\n  \"events\": ");
+        out.push_str(&self.events.to_string());
+        out.push_str(",\n  \"windows\": [");
+        for (wi, w) in self.windows.iter().enumerate() {
+            if wi > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"start_seq\": ");
+            out.push_str(&w.start_seq.to_string());
+            out.push_str(", \"end_seq\": ");
+            out.push_str(&w.end_seq.to_string());
+            out.push_str(", \"sets\": [");
+            for (si, (set, cell)) in w.cells.iter().enumerate() {
+                if si > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"set\": ");
+                out.push_str(&set.to_string());
+                for (key, v) in [
+                    ("imit_a", cell.imit_a),
+                    ("imit_b", cell.imit_b),
+                    ("miss_a", cell.miss_a),
+                    ("miss_b", cell.miss_b),
+                ] {
+                    out.push_str(", ");
+                    push_str_escaped(&mut out, key);
+                    out.push_str(": ");
+                    out.push_str(&v.to_string());
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        if !self.windows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EvictionCase;
+
+    fn imitation(set: u32, component: Comp) -> DecisionEvent {
+        DecisionEvent::Imitation {
+            set,
+            component,
+            case: EvictionCase::SameVictim,
+        }
+    }
+
+    #[test]
+    fn buckets_by_seq_and_set() {
+        let mut h = HeatmapAggregator::new(10, 1);
+        h.offer(0, &imitation(3, Comp::A));
+        h.offer(5, &imitation(3, Comp::B));
+        h.offer(12, &imitation(7, Comp::B));
+        let w = h.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(
+            w[0].cells[&3],
+            HeatCell {
+                imit_a: 1,
+                imit_b: 1,
+                ..Default::default()
+            }
+        );
+        assert_eq!(w[1].cells[&7].imit_b, 1);
+    }
+
+    #[test]
+    fn stride_samples_sets() {
+        let mut h = HeatmapAggregator::new(10, 4);
+        for set in 0..16 {
+            h.offer(0, &imitation(set, Comp::A));
+        }
+        assert_eq!(h.events(), 4, "sets 0,4,8,12");
+        assert_eq!(h.windows()[0].cells.len(), 4);
+        let mut off = HeatmapAggregator::new(10, 0);
+        off.offer(0, &imitation(0, Comp::A));
+        assert!(off.is_empty(), "stride 0 disables");
+    }
+
+    #[test]
+    fn history_updates_count_miss_density() {
+        let mut h = HeatmapAggregator::new(10, 1);
+        h.offer(
+            0,
+            &DecisionEvent::HistoryUpdate {
+                set: 2,
+                a_missed: true,
+                b_missed: false,
+            },
+        );
+        assert_eq!(h.windows()[0].cells[&2].miss_a, 1);
+        assert_eq!(h.windows()[0].cells[&2].miss_b, 0);
+    }
+
+    #[test]
+    fn coarsens_past_window_cap() {
+        let mut h = HeatmapAggregator::new(1, 1);
+        for i in 0..2048u64 {
+            h.offer(i, &imitation((i % 8) as u32, Comp::A));
+        }
+        assert!(h.windows().len() <= MAX_WINDOWS);
+        let total: u64 = h
+            .windows()
+            .iter()
+            .flat_map(|w| w.cells.values())
+            .map(|c| c.imit_a)
+            .sum();
+        assert_eq!(total, 2048, "coarsening loses no counts");
+    }
+
+    #[test]
+    fn json_has_schema_version() {
+        let mut h = HeatmapAggregator::new(10, 1);
+        h.offer(0, &imitation(0, Comp::B));
+        let text = h.to_json();
+        assert!(text.contains("\"schema_version\": 1"), "{text}");
+        assert!(text.contains("\"imit_b\": 1"), "{text}");
+    }
+}

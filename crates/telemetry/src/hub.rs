@@ -2,8 +2,10 @@
 //! decision-event ring buffer, streaming JSONL sink, artifact writer.
 
 use crate::event::{DecisionEvent, EventRecord};
+use crate::heatmap::HeatmapAggregator;
 use crate::metrics::Histogram;
 use crate::span::SpanRecord;
+use crate::timeline::TimelineData;
 use crate::{Level, Recorder};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, BufWriter, Write};
@@ -32,6 +34,13 @@ pub struct TelemetryConfig {
     /// overwritten once full; the JSONL sink, when configured, streams
     /// every sampled event regardless).
     pub ring_capacity: usize,
+    /// Timeline window length in ticks (accesses / cycles) for
+    /// [`crate::timeline::Timeline::from_hub`]. `0` disables timelines.
+    pub timeline_window: u64,
+    /// Heatmap event-window width (sampled events per column).
+    pub heatmap_window_events: u64,
+    /// Heatmap set-sampling stride (`0` disables the heatmap).
+    pub heatmap_set_stride: u32,
 }
 
 impl Default for TelemetryConfig {
@@ -40,6 +49,9 @@ impl Default for TelemetryConfig {
             dir: None,
             sample_rate: 1,
             ring_capacity: DEFAULT_RING_CAPACITY,
+            timeline_window: crate::timeline::DEFAULT_TIMELINE_WINDOW,
+            heatmap_window_events: crate::heatmap::DEFAULT_HEATMAP_WINDOW,
+            heatmap_set_stride: crate::heatmap::DEFAULT_HEATMAP_STRIDE,
         }
     }
 }
@@ -59,10 +71,28 @@ impl TelemetryConfig {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_ENV_SAMPLE_RATE);
+        let env_u64 = |name: &str, default: u64| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(default)
+        };
         Some(TelemetryConfig {
             dir: Some(dir),
             sample_rate,
             ring_capacity: DEFAULT_RING_CAPACITY,
+            timeline_window: env_u64(
+                "AC_TIMELINE_WINDOW",
+                crate::timeline::DEFAULT_TIMELINE_WINDOW,
+            ),
+            heatmap_window_events: env_u64(
+                "AC_HEATMAP_WINDOW",
+                crate::heatmap::DEFAULT_HEATMAP_WINDOW,
+            ),
+            heatmap_set_stride: env_u64(
+                "AC_HEATMAP_STRIDE",
+                u64::from(crate::heatmap::DEFAULT_HEATMAP_STRIDE),
+            ) as u32,
         })
     }
 
@@ -77,13 +107,28 @@ impl TelemetryConfig {
         self.sample_rate = rate;
         self
     }
+
+    /// This configuration with a different timeline window length
+    /// (`0` disables timelines).
+    pub fn with_timeline_window(mut self, window: u64) -> Self {
+        self.timeline_window = window;
+        self
+    }
+
+    /// This configuration with a different heatmap shape: `window_events`
+    /// per column, one set in `set_stride` sampled (`0` disables).
+    pub fn with_heatmap(mut self, window_events: u64, set_stride: u32) -> Self {
+        self.heatmap_window_events = window_events;
+        self.heatmap_set_stride = set_stride;
+        self
+    }
 }
 
-#[derive(Default)]
 struct EventBuf {
     ring: VecDeque<EventRecord>,
     sink: Option<BufWriter<std::fs::File>>,
     sink_error: bool,
+    heatmap: HeatmapAggregator,
 }
 
 /// The standard recorder: thread-safe metric registry + event stream.
@@ -98,6 +143,7 @@ pub struct Telemetry {
     histograms: Mutex<HashMap<&'static str, Histogram>>,
     spans: Mutex<Vec<SpanRecord>>,
     events: Mutex<EventBuf>,
+    timelines: Mutex<Vec<TimelineData>>,
     /// Position in the unsampled event stream (drives sampling).
     event_seq: AtomicU64,
     /// Events actually recorded (ring and/or sink).
@@ -114,13 +160,20 @@ impl Telemetry {
     /// stream to `<dir>/events.jsonl` as they are recorded (the file is
     /// opened lazily on the first event).
     pub fn new(cfg: TelemetryConfig) -> Telemetry {
+        let heatmap = HeatmapAggregator::new(cfg.heatmap_window_events, cfg.heatmap_set_stride);
         Telemetry {
             cfg,
             counters: Mutex::new(HashMap::new()),
             gauges: Mutex::new(HashMap::new()),
             histograms: Mutex::new(HashMap::new()),
             spans: Mutex::new(Vec::new()),
-            events: Mutex::new(EventBuf::default()),
+            events: Mutex::new(EventBuf {
+                ring: VecDeque::new(),
+                sink: None,
+                sink_error: false,
+                heatmap,
+            }),
+            timelines: Mutex::new(Vec::new()),
             event_seq: AtomicU64::new(0),
             events_recorded: AtomicU64::new(0),
             log_counts: Default::default(),
@@ -222,6 +275,27 @@ impl Telemetry {
         self.events_recorded.load(Ordering::Relaxed)
     }
 
+    /// Attaches a finished timeline for `timeline.jsonl` export.
+    /// Usually called through [`crate::timeline::Timeline::finish`].
+    pub fn attach_timeline(&self, data: TimelineData) {
+        lock(&self.timelines).push(data);
+    }
+
+    /// Snapshot of the attached timelines, in attach order.
+    pub fn timelines(&self) -> Vec<TimelineData> {
+        lock(&self.timelines).clone()
+    }
+
+    /// The decision heatmap serialized as JSON, or `None` when no event
+    /// has reached the aggregator (disabled stride, no events).
+    pub fn heatmap_json(&self) -> Option<String> {
+        let buf = lock(&self.events);
+        if buf.heatmap.is_empty() {
+            return None;
+        }
+        Some(buf.heatmap.to_json())
+    }
+
     /// Log lines emitted per level (error, warn, info, debug).
     pub fn log_counts(&self) -> [u64; 4] {
         [
@@ -253,6 +327,22 @@ impl Telemetry {
             ("telemetry-summary.json", self.summary_json()),
         ] {
             let path = dir.join(name);
+            write_atomic(&path, text.as_bytes())?;
+            written.push(path);
+        }
+        let timelines = lock(&self.timelines);
+        if !timelines.is_empty() {
+            let mut text = String::with_capacity(64 * 1024);
+            for tl in timelines.iter() {
+                tl.write_jsonl(&mut text);
+            }
+            let path = dir.join("timeline.jsonl");
+            write_atomic(&path, text.as_bytes())?;
+            written.push(path);
+        }
+        drop(timelines);
+        if let Some(text) = self.heatmap_json() {
+            let path = dir.join("heatmap.json");
             write_atomic(&path, text.as_bytes())?;
             written.push(path);
         }
@@ -340,6 +430,7 @@ impl Recorder for Telemetry {
         if buf.ring.len() == self.cfg.ring_capacity.max(1) {
             buf.ring.pop_front();
         }
+        buf.heatmap.offer(seq, &record.event);
         buf.ring.push_back(record);
     }
 

@@ -58,17 +58,21 @@
 
 mod event;
 mod export;
+pub mod heatmap;
 mod hub;
 mod json;
 mod logging;
 mod metrics;
 mod span;
+pub mod timeline;
 
-pub use event::{Comp, DecisionEvent, EventRecord, EvictionCase};
+pub use event::{Comp, DecisionEvent, EventRecord, EvictionCase, EVENTS_SCHEMA_VERSION};
+pub use export::SUMMARY_SCHEMA_VERSION;
 pub use hub::{Telemetry, TelemetryConfig, DEFAULT_ENV_SAMPLE_RATE, DEFAULT_RING_CAPACITY};
 pub use logging::{log_stderr, max_level, Level};
 pub use metrics::{HistogramSnapshot, LOG2_BUCKETS};
 pub use span::{now_us, Span, SpanRecord};
+pub use timeline::{Timeline, TimelineData, TimelineGauges, TimelineProbe};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -40,24 +40,40 @@ fn disabled_instrumentation_is_allocation_free() {
     // Warm anything lazily initialised outside the instrumented path.
     ac_telemetry::now_us();
 
-    let before = ALLOCS.load(Ordering::SeqCst);
-    for i in 0..10_000u32 {
-        ac_telemetry::counter_add("noop_counter_total", 1);
-        ac_telemetry::counter_add_labeled("noop_labeled_total", "label", 2);
-        ac_telemetry::gauge_set("noop_gauge", 1.0);
-        ac_telemetry::histogram_record("noop_hist_us", u64::from(i));
-        ac_telemetry::decision(|| ac_telemetry::DecisionEvent::Imitation {
-            set: i,
-            component: ac_telemetry::Comp::A,
-            case: ac_telemetry::EvictionCase::SameVictim,
-        });
-        let span = ac_telemetry::span("noop", || format!("span {i}"));
-        drop(span);
+    // The harness itself (stdout capture, watchdog) occasionally
+    // allocates from another thread mid-window. The instrumented loop is
+    // deterministic, so one clean window out of a few attempts proves
+    // the path allocation-free; a real allocation inside the loop would
+    // fail every attempt.
+    let mut observed = u64::MAX;
+    for _attempt in 0..5 {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for i in 0..10_000u32 {
+            ac_telemetry::counter_add("noop_counter_total", 1);
+            ac_telemetry::counter_add_labeled("noop_labeled_total", "label", 2);
+            ac_telemetry::gauge_set("noop_gauge", 1.0);
+            ac_telemetry::histogram_record("noop_hist_us", u64::from(i));
+            ac_telemetry::decision(|| ac_telemetry::DecisionEvent::Imitation {
+                set: i,
+                component: ac_telemetry::Comp::A,
+                case: ac_telemetry::EvictionCase::SameVictim,
+            });
+            let span = ac_telemetry::span("noop", || format!("span {i}"));
+            drop(span);
+            // Timeline construction declines without running the label
+            // closure, and run-scope guards stay inert.
+            let tl = ac_telemetry::Timeline::from_hub("accesses", || format!("run {i}"));
+            assert!(tl.is_none(), "from_hub must decline with no hub installed");
+            let scope = ac_telemetry::timeline::run_scope("cell 0:applu");
+            drop(scope);
+        }
+        observed = observed.min(ALLOCS.load(Ordering::SeqCst) - before);
+        if observed == 0 {
+            break;
+        }
     }
-    let after = ALLOCS.load(Ordering::SeqCst);
     assert_eq!(
-        after - before,
-        0,
+        observed, 0,
         "disabled-path instrumentation must not allocate"
     );
 }

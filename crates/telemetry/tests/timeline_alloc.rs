@@ -1,0 +1,85 @@
+//! Guards the *enabled* timeline's steady state: once a [`Timeline`] is
+//! constructed (one label `String`, one preallocated ring), recording
+//! windows — including every in-place coarsening the bounded ring
+//! performs — must not touch the allocator. Flushing to JSONL happens
+//! once at artifact-write time and is allowed to allocate; the per-window
+//! hot path is not.
+//!
+//! Same discipline as `noop_alloc.rs`: single test in the binary so no
+//! sibling thread allocates while the counting window is open.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ac_telemetry::{Timeline, TimelineGauges, TimelineProbe};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn enabled_timeline_recording_is_allocation_free() {
+    // Warm the lazily initialised telemetry epoch outside the window.
+    ac_telemetry::now_us();
+
+    // The harness itself occasionally allocates from another thread
+    // mid-window; the recording loop is deterministic, so one clean
+    // window out of a few attempts proves the path allocation-free.
+    let mut observed = u64::MAX;
+    for _attempt in 0..5u64 {
+        // Construction allocates (label + ring) and is excluded on
+        // purpose: the contract covers the steady state.
+        let mut tl = Timeline::new("alloc probe".into(), "accesses", 4, 8);
+
+        let before = ALLOCS.load(Ordering::SeqCst);
+        let mut probe = TimelineProbe::default();
+        for tick in 1..=20_000u64 {
+            probe.accesses = tick;
+            probe.hits = tick / 2;
+            probe.misses = tick - tick / 2;
+            probe.imitations_a = tick / 3;
+            if tl.due(tick) {
+                tl.record(tick, tick * 4, probe, TimelineGauges::default());
+            }
+        }
+        tl.close(20_001, 80_004, probe, TimelineGauges::default());
+        let after = ALLOCS.load(Ordering::SeqCst);
+
+        // 20k ticks into an 8-window ring at window 4 forces ~11
+        // coarsening rounds; all of them must happen in place.
+        assert!(
+            tl.window_len() > 4,
+            "test must actually exercise coarsening (window_len = {})",
+            tl.window_len()
+        );
+        assert!(!tl.windows().is_empty());
+        drop(tl);
+        observed = observed.min(after - before);
+        if observed == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        observed, 0,
+        "enabled timeline record/coarsen path must not allocate"
+    );
+}
