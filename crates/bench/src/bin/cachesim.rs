@@ -174,6 +174,50 @@ fn load_trace(req: &RunRequest) -> Result<(String, Vec<Inst>), ExperimentError> 
 
 /// Executes one request end to end.
 fn run_request(req: &RunRequest) -> Result<RunReply, ExperimentError> {
+    validate(req)?;
+    // Benchmark-sourced functional cells go through the sweep runner so
+    // they share the process-wide replay cache (`AC_REPLAY`): the
+    // front-end runs at most once per (benchmark, L1-config, budget)
+    // key and every cell replays the captured L2 stream against its own
+    // organisation. Spec and trace-file sources have no suite identity
+    // to key on and stay on the direct path below.
+    if req.mode == "functional" {
+        if let Some(name) = &req.benchmark {
+            let suite = extended_suite();
+            let b = suite.iter().find(|b| &b.name == name).ok_or_else(|| {
+                ExperimentError::InvalidInput(format!(
+                    "field `benchmark`: unknown benchmark {name:?} (try policy_explorer -- --list)"
+                ))
+            })?;
+            let r = experiments::run_functional_l2_cfg(
+                b,
+                &req.l2,
+                (
+                    req.cpu.l2.size_bytes,
+                    req.cpu.l2.line_bytes,
+                    req.cpu.l2.associativity,
+                ),
+                req.insts,
+                &req.cpu,
+            )
+            .map_err(|e| match e {
+                ExperimentError::Geometry(g) => {
+                    ExperimentError::InvalidInput(format!("field `cpu.l2`: bad geometry: {g}"))
+                }
+                other => other,
+            })?;
+            return Ok(RunReply {
+                workload: name.clone(),
+                l2: req.l2.label(),
+                mode: req.mode.clone(),
+                instructions: r.stats.instructions,
+                l2_misses: r.stats.l2_misses,
+                l2_mpki: r.stats.l2_mpki(),
+                cycles: None,
+                cpi: None,
+            });
+        }
+    }
     let (workload, trace) = load_trace(req)?;
     let geom = Geometry::new(
         req.cpu.l2.size_bytes,
@@ -311,26 +355,30 @@ fn run_sweep_request(req: SweepRequest, config_path: &Path) -> i32 {
     report.exit_code()
 }
 
-/// `cachesim bench [--quick] [--out <path>]`: measure access throughput
-/// per organisation (against the seed-layout baselines where they exist)
-/// and write `results/bench_access.json`.
+/// `cachesim bench [--sweep] [--quick] [--out <path>]`: measure access
+/// throughput per organisation (against the seed-layout baselines where
+/// they exist) and write `results/bench_access.json` — or, with
+/// `--sweep`, time a fig03-style functional sweep replay-on vs
+/// replay-off and write `results/bench_sweep.json`.
 fn run_bench_subcommand(rest: &[String]) {
     let mut quick = false;
-    let mut out = String::from("results/bench_access.json");
+    let mut sweep = false;
+    let mut out: Option<String> = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--quick" => quick = true,
+            "--sweep" => sweep = true,
             "--out" => {
                 i += 1;
                 match rest.get(i) {
-                    Some(p) => out = p.clone(),
+                    Some(p) => out = Some(p.clone()),
                     None => die_invalid("flag `--out` requires a path operand"),
                 }
             }
             other => {
                 if let Some(p) = other.strip_prefix("--out=") {
-                    out = p.to_string();
+                    out = Some(p.to_string());
                 } else {
                     die_invalid(&format!("unknown bench flag `{other}`"));
                 }
@@ -339,6 +387,25 @@ fn run_bench_subcommand(rest: &[String]) {
         i += 1;
     }
 
+    if sweep {
+        let out = out.unwrap_or_else(|| "results/bench_sweep.json".to_string());
+        let report = bench::sweep_bench::run(quick);
+        bench::sweep_bench::print_report(&report);
+        if ac_telemetry::enabled() {
+            ac_telemetry::gauge_set("bench.sweep_speedup", report.speedup);
+        }
+        let path = Path::new(&out);
+        match bench::sweep_bench::write_report(&report, path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cachesim: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let out = out.unwrap_or_else(|| "results/bench_access.json".to_string());
     let report = bench::access_bench::run(quick);
     bench::access_bench::print_report(&report);
     if ac_telemetry::enabled() {
@@ -387,7 +454,7 @@ fn main() {
     }
     if arg.is_empty() || arg.starts_with("--") {
         die_invalid(
-            "usage: cachesim [--telemetry <dir> | --metrics] [run] <run.json> | cachesim --template | cachesim bench [--quick] [--out <path>] | cachesim report <run-dir> [--compare <old-run-dir>] [--out <file>] [--threshold <pct>]",
+            "usage: cachesim [--telemetry <dir> | --metrics] [run] <run.json> | cachesim --template | cachesim bench [--sweep] [--quick] [--out <path>] | cachesim report <run-dir> [--compare <old-run-dir>] [--out <file>] [--threshold <pct>]",
         );
     }
 

@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 pub mod access_bench;
 pub mod report;
 pub mod seed_baseline;
+pub mod sweep_bench;
 
 /// Prints a table and writes `results/<stem>.{csv,json}`.
 pub fn emit(table: &Table, stem: &str) {

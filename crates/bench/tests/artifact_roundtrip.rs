@@ -75,6 +75,7 @@ fn every_artifact_parses_with_its_schema_version() {
         ts_us: 10,
         dur_us: 25,
         tid: 1,
+        args: vec![("frontend_skipped", "false".to_string())],
     });
     let decisions = [
         DecisionEvent::Imitation {

@@ -55,6 +55,27 @@ pub trait CacheModel: fmt::Debug + Send {
     }
 }
 
+impl<T: CacheModel + ?Sized> CacheModel for &mut T {
+    fn access(&mut self, block: BlockAddr, write: bool) -> AccessOutcome {
+        (**self).access(block, write)
+    }
+    fn stats(&self) -> &CacheStats {
+        (**self).stats()
+    }
+    fn geometry(&self) -> &Geometry {
+        (**self).geometry()
+    }
+    fn label(&self) -> String {
+        (**self).label()
+    }
+    fn flush_telemetry(&self) {
+        (**self).flush_telemetry()
+    }
+    fn timeline_probe(&self) -> ac_telemetry::TimelineProbe {
+        (**self).timeline_probe()
+    }
+}
+
 impl<T: CacheModel + ?Sized> CacheModel for Box<T> {
     fn access(&mut self, block: BlockAddr, write: bool) -> AccessOutcome {
         (**self).access(block, write)

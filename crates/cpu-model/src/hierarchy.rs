@@ -6,6 +6,41 @@ use crate::prefetch::{PrefetchEngine, PrefetchStats, Prefetcher};
 use cache_sim::{Address, BlockAddr, Cache, CacheModel, CacheStats, Geometry, PolicyKind};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A trivial identity [`Hasher`] for block-address sets.
+///
+/// Block addresses are already well-distributed cache-line indices;
+/// running them through SipHash on the L2 miss path buys nothing. This
+/// hasher forwards the integer unchanged (dependency-free equivalent of
+/// the usual `nohash`/`fxhash` crates).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reachable for non-integer keys; fold bytes so the hasher
+        // stays correct (if degraded) for them.
+        for &b in bytes {
+            self.0 = (self.0 << 8) | u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.0 = v as u64;
+    }
+}
+
+/// A `HashSet<u64>` keyed through [`IdentityHasher`].
+pub type BlockSet = HashSet<u64, BuildHasherDefault<IdentityHasher>>;
 
 /// The level that served an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,82 +74,60 @@ pub struct Hierarchy<
 > {
     l1i: L1I,
     l1d: L1D,
-    l2: L2,
     l1i_geom: Geometry,
     l1d_geom: Geometry,
-    l2_geom: Geometry,
+    l2x: L2Complex<L2>,
+}
+
+/// The L2 side of the hierarchy: the organisation under test plus the
+/// demand-miss counter and optional prefetcher bookkeeping.
+///
+/// Split out of [`Hierarchy`] so the memoised-stream replay driver
+/// ([`crate::replay`]) runs the *same* code the front-end-attached
+/// hierarchy runs — demand accounting and prefetch scoring behave
+/// identically by construction, not by duplication.
+#[derive(Debug)]
+pub struct L2Complex<L2: CacheModel> {
+    l2: L2,
+    geom: Geometry,
     /// Demand misses at the L2 (excludes prefetch traffic).
-    demand_l2_misses: u64,
+    demand_misses: u64,
     /// Optional L2 prefetcher + usefulness bookkeeping.
     prefetcher: Option<PrefetchEngine>,
-    prefetched: HashSet<u64>,
+    prefetched: BlockSet,
     pf_stats: PrefetchStats,
 }
 
-fn build_l1(p: CacheParams, seed: u64) -> (Cache<PolicyKind>, Geometry) {
-    let geom =
-        Geometry::new(p.size_bytes, p.line_bytes, p.associativity).expect("invalid L1 geometry");
-    (Cache::new(geom, PolicyKind::Lru, seed), geom)
-}
-
-/// Geometry for an L1 level of `config` (used when supplying custom L1
-/// organisations to [`Hierarchy::with_l1s`]).
-pub fn l1_geometry(p: CacheParams) -> Geometry {
-    Geometry::new(p.size_bytes, p.line_bytes, p.associativity).expect("invalid L1 geometry")
-}
-
-impl<L2: CacheModel> Hierarchy<L2> {
-    /// Builds the hierarchy around an existing L2 organisation, with the
-    /// conventional LRU L1s of the paper's Table 1.
-    pub fn new(config: &CpuConfig, l2: L2) -> Self {
-        let (l1i, l1i_geom) = build_l1(config.l1i, 0x11);
-        let (l1d, l1d_geom) = build_l1(config.l1d, 0x1D);
-        let l2_geom = *l2.geometry();
-        Hierarchy {
-            l1i,
-            l1d,
+impl<L2: CacheModel> L2Complex<L2> {
+    /// Wraps an L2 organisation with demand/prefetch bookkeeping.
+    pub fn new(l2: L2) -> L2Complex<L2> {
+        L2Complex {
+            geom: *l2.geometry(),
             l2,
-            l1i_geom,
-            l1d_geom,
-            l2_geom,
-            demand_l2_misses: 0,
+            demand_misses: 0,
             prefetcher: None,
-            prefetched: HashSet::new(),
-            pf_stats: PrefetchStats::default(),
-        }
-    }
-}
-
-impl<L2: CacheModel, L1I: CacheModel, L1D: CacheModel> Hierarchy<L2, L1I, L1D> {
-    /// Builds the hierarchy with custom L1 organisations (paper Section
-    /// 4.6 evaluates LRU/LFU-adaptive L1 instruction and data caches).
-    pub fn with_l1s(l1i: L1I, l1d: L1D, l2: L2) -> Self {
-        Hierarchy {
-            l1i_geom: *l1i.geometry(),
-            l1d_geom: *l1d.geometry(),
-            l2_geom: *l2.geometry(),
-            l1i,
-            l1d,
-            l2,
-            demand_l2_misses: 0,
-            prefetcher: None,
-            prefetched: HashSet::new(),
+            prefetched: BlockSet::default(),
             pf_stats: PrefetchStats::default(),
         }
     }
 
-    /// Attaches an L2 prefetcher (the future-work experiment of the
-    /// paper's Section 6; see [`crate::prefetch`]). Prefetch fills go
-    /// through the L2's normal replacement path but are excluded from
-    /// [`Hierarchy::demand_l2_misses`].
+    /// Attaches (or detaches) an L2 prefetcher.
     pub fn set_prefetcher(&mut self, engine: Option<PrefetchEngine>) {
+        if engine.is_some() {
+            // Entries only exist for L2-resident lines (inserted after a
+            // prefetch fill, retired on demand hit or any eviction), so
+            // the line count bounds the set: reserving it up front keeps
+            // the steady-state access loop free of table resizes.
+            let lines = self.geom.num_sets() * self.geom.associativity();
+            self.prefetched
+                .reserve(lines.saturating_sub(self.prefetched.len()));
+        }
         self.prefetcher = engine;
     }
 
-    /// L2 misses caused by demand traffic only (instruction fetches, data
-    /// accesses, L1 writebacks) — prefetch fills excluded.
-    pub fn demand_l2_misses(&self) -> u64 {
-        self.demand_l2_misses
+    /// Demand L2 misses so far (prefetch fills excluded).
+    pub fn demand_misses(&self) -> u64 {
+        self.demand_misses
     }
 
     /// Prefetch usefulness statistics.
@@ -122,86 +135,28 @@ impl<L2: CacheModel, L1I: CacheModel, L1D: CacheModel> Hierarchy<L2, L1I, L1D> {
         self.pf_stats
     }
 
-    /// The L2 organisation.
+    /// The wrapped organisation.
     pub fn l2(&self) -> &L2 {
         &self.l2
     }
 
-    /// Mutable access to the L2 (e.g. for Figure 7 phase sampling).
+    /// Mutable access to the wrapped organisation.
     pub fn l2_mut(&mut self) -> &mut L2 {
         &mut self.l2
     }
 
-    /// L1 instruction-cache statistics.
-    pub fn l1i_stats(&self) -> &CacheStats {
-        self.l1i.stats()
-    }
-
-    /// L1 data-cache statistics.
-    pub fn l1d_stats(&self) -> &CacheStats {
-        self.l1d.stats()
-    }
-
-    /// The L1 instruction-cache organisation.
-    pub fn l1i(&self) -> &L1I {
-        &self.l1i
-    }
-
-    /// The L1 data-cache organisation.
-    pub fn l1d(&self) -> &L1D {
-        &self.l1d
-    }
-
-    /// Consumes the hierarchy, returning the L2.
-    pub fn into_l2(self) -> L2 {
+    /// Consumes the complex, returning the organisation.
+    pub fn into_inner(self) -> L2 {
         self.l2
     }
 
-    /// One instruction fetch of the block containing `pc`.
-    pub fn inst_fetch(&mut self, pc: u64) -> HierAccess {
-        let block = self.l1i_geom.block_of(Address::new(pc));
-        let out = self.l1i.access(block, false);
-        if out.hit {
-            return HierAccess {
-                level: Level::L1,
-                memory_writebacks: 0,
-            };
-        }
-        // Instruction lines are never dirty; the L1I eviction needs no
-        // writeback. Fill from the unified L2.
-        self.l2_fill(pc, false)
-    }
-
-    /// One data access to `addr`.
-    pub fn data_access(&mut self, addr: u64, write: bool) -> HierAccess {
-        let block = self.l1d_geom.block_of(Address::new(addr));
-        let out = self.l1d.access(block, write);
-        let mut wbs = 0;
-        if let Some(ev) = out.eviction {
-            if ev.dirty {
-                // Write the evicted L1 line back into the L2.
-                let byte = ev.block.raw() << self.l1d_geom.offset_bits();
-                wbs += self.l2_write_back(byte);
-            }
-        }
-        if out.hit {
-            return HierAccess {
-                level: Level::L1,
-                memory_writebacks: wbs,
-            };
-        }
-        let mut fill = self.l2_fill(addr, false);
-        fill.memory_writebacks += wbs;
-        fill
-    }
-
-    /// Fills a block from the L2 (allocating there on miss); returns the
-    /// serving level.
-    fn l2_fill(&mut self, addr: u64, write: bool) -> HierAccess {
-        let block = self.l2_geom.block_of(Address::new(addr));
-        let out = self.l2.access(block, write);
+    /// A demand fill from byte address `addr` (allocating on miss);
+    /// returns the serving level.
+    pub fn fill(&mut self, addr: u64) -> HierAccess {
+        let block = self.geom.block_of(Address::new(addr));
+        let out = self.l2.access(block, false);
         if !out.hit {
-            self.demand_l2_misses += 1;
+            self.demand_misses += 1;
         }
         self.score_and_prefetch(block, out.hit, out.eviction);
         let memory_writebacks = u32::from(out.eviction.map(|e| e.dirty).unwrap_or(false));
@@ -211,13 +166,24 @@ impl<L2: CacheModel, L1I: CacheModel, L1D: CacheModel> Hierarchy<L2, L1I, L1D> {
         }
     }
 
-    /// An L1 dirty-eviction writeback into the L2; returns the number of
-    /// memory writebacks it caused in turn.
-    fn l2_write_back(&mut self, addr: u64) -> u32 {
-        let block = self.l2_geom.block_of(Address::new(addr));
+    /// An L1 dirty-eviction writeback of byte address `addr`; returns
+    /// the number of memory writebacks it caused in turn.
+    pub fn write_back(&mut self, addr: u64) -> u32 {
+        let block = self.geom.block_of(Address::new(addr));
         let out = self.l2.access(block, true);
         if !out.hit {
-            self.demand_l2_misses += 1;
+            self.demand_misses += 1;
+        }
+        // A writeback is not a demand fetch — it neither scores the
+        // accessed block nor consults the prefetcher — but its eviction
+        // can still displace a prefetched line, which must be retired
+        // here or the bookkeeping set leaks an entry per occurrence.
+        if self.prefetcher.is_some() {
+            if let Some(ev) = out.eviction {
+                if self.prefetched.remove(&ev.block.raw()) {
+                    self.pf_stats.useless += 1;
+                }
+            }
         }
         u32::from(out.eviction.map(|e| e.dirty).unwrap_or(false))
     }
@@ -260,6 +226,145 @@ impl<L2: CacheModel, L1I: CacheModel, L1D: CacheModel> Hierarchy<L2, L1I, L1D> {
                 }
             }
         }
+    }
+}
+
+pub(crate) fn build_l1(p: CacheParams, seed: u64) -> (Cache<PolicyKind>, Geometry) {
+    let geom =
+        Geometry::new(p.size_bytes, p.line_bytes, p.associativity).expect("invalid L1 geometry");
+    (Cache::new(geom, PolicyKind::Lru, seed), geom)
+}
+
+/// Geometry for an L1 level of `config` (used when supplying custom L1
+/// organisations to [`Hierarchy::with_l1s`]).
+pub fn l1_geometry(p: CacheParams) -> Geometry {
+    Geometry::new(p.size_bytes, p.line_bytes, p.associativity).expect("invalid L1 geometry")
+}
+
+impl<L2: CacheModel> Hierarchy<L2> {
+    /// Builds the hierarchy around an existing L2 organisation, with the
+    /// conventional LRU L1s of the paper's Table 1.
+    pub fn new(config: &CpuConfig, l2: L2) -> Self {
+        let (l1i, l1i_geom) = build_l1(config.l1i, L1I_SEED);
+        let (l1d, l1d_geom) = build_l1(config.l1d, L1D_SEED);
+        Hierarchy {
+            l1i,
+            l1d,
+            l1i_geom,
+            l1d_geom,
+            l2x: L2Complex::new(l2),
+        }
+    }
+}
+
+/// Seed of the default L1 instruction cache built by [`Hierarchy::new`].
+pub(crate) const L1I_SEED: u64 = 0x11;
+/// Seed of the default L1 data cache built by [`Hierarchy::new`].
+pub(crate) const L1D_SEED: u64 = 0x1D;
+
+impl<L2: CacheModel, L1I: CacheModel, L1D: CacheModel> Hierarchy<L2, L1I, L1D> {
+    /// Builds the hierarchy with custom L1 organisations (paper Section
+    /// 4.6 evaluates LRU/LFU-adaptive L1 instruction and data caches).
+    pub fn with_l1s(l1i: L1I, l1d: L1D, l2: L2) -> Self {
+        Hierarchy {
+            l1i_geom: *l1i.geometry(),
+            l1d_geom: *l1d.geometry(),
+            l1i,
+            l1d,
+            l2x: L2Complex::new(l2),
+        }
+    }
+
+    /// Attaches an L2 prefetcher (the future-work experiment of the
+    /// paper's Section 6; see [`crate::prefetch`]). Prefetch fills go
+    /// through the L2's normal replacement path but are excluded from
+    /// [`Hierarchy::demand_l2_misses`].
+    pub fn set_prefetcher(&mut self, engine: Option<PrefetchEngine>) {
+        self.l2x.set_prefetcher(engine);
+    }
+
+    /// L2 misses caused by demand traffic only (instruction fetches, data
+    /// accesses, L1 writebacks) — prefetch fills excluded.
+    pub fn demand_l2_misses(&self) -> u64 {
+        self.l2x.demand_misses()
+    }
+
+    /// Prefetch usefulness statistics.
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.l2x.prefetch_stats()
+    }
+
+    /// The L2 organisation.
+    pub fn l2(&self) -> &L2 {
+        self.l2x.l2()
+    }
+
+    /// Mutable access to the L2 (e.g. for Figure 7 phase sampling).
+    pub fn l2_mut(&mut self) -> &mut L2 {
+        self.l2x.l2_mut()
+    }
+
+    /// L1 instruction-cache statistics.
+    pub fn l1i_stats(&self) -> &CacheStats {
+        self.l1i.stats()
+    }
+
+    /// L1 data-cache statistics.
+    pub fn l1d_stats(&self) -> &CacheStats {
+        self.l1d.stats()
+    }
+
+    /// The L1 instruction-cache organisation.
+    pub fn l1i(&self) -> &L1I {
+        &self.l1i
+    }
+
+    /// The L1 data-cache organisation.
+    pub fn l1d(&self) -> &L1D {
+        &self.l1d
+    }
+
+    /// Consumes the hierarchy, returning the L2.
+    pub fn into_l2(self) -> L2 {
+        self.l2x.into_inner()
+    }
+
+    /// One instruction fetch of the block containing `pc`.
+    pub fn inst_fetch(&mut self, pc: u64) -> HierAccess {
+        let block = self.l1i_geom.block_of(Address::new(pc));
+        let out = self.l1i.access(block, false);
+        if out.hit {
+            return HierAccess {
+                level: Level::L1,
+                memory_writebacks: 0,
+            };
+        }
+        // Instruction lines are never dirty; the L1I eviction needs no
+        // writeback. Fill from the unified L2.
+        self.l2x.fill(pc)
+    }
+
+    /// One data access to `addr`.
+    pub fn data_access(&mut self, addr: u64, write: bool) -> HierAccess {
+        let block = self.l1d_geom.block_of(Address::new(addr));
+        let out = self.l1d.access(block, write);
+        let mut wbs = 0;
+        if let Some(ev) = out.eviction {
+            if ev.dirty {
+                // Write the evicted L1 line back into the L2.
+                let byte = ev.block.raw() << self.l1d_geom.offset_bits();
+                wbs += self.l2x.write_back(byte);
+            }
+        }
+        if out.hit {
+            return HierAccess {
+                level: Level::L1,
+                memory_writebacks: wbs,
+            };
+        }
+        let mut fill = self.l2x.fill(addr);
+        fill.memory_writebacks += wbs;
+        fill
     }
 }
 
@@ -318,7 +423,11 @@ where
         format!("functional {}", hierarchy.l2().label())
     });
     let mut last_iblock = u64::MAX;
-    for inst in trace.take(max_insts as usize) {
+    // Explicit u64 budget: `Iterator::take` counts in usize, which would
+    // silently truncate budgets above 4G-1 instructions on 32-bit hosts.
+    let mut trace = trace;
+    while stats.instructions < max_insts {
+        let Some(inst) = trace.next() else { break };
         stats.instructions += 1;
         let iblock = inst.pc / hierarchy.l1i_geom.line_bytes() as u64;
         if iblock != last_iblock {

@@ -48,8 +48,13 @@ mod config;
 mod hierarchy;
 mod pipeline;
 pub mod prefetch;
+pub mod replay;
 
 pub use branch::{BranchPredictor, BranchStats};
 pub use config::{CacheParams, CpuConfig};
-pub use hierarchy::{l1_geometry, run_functional, FunctionalStats, Hierarchy, Level};
+pub use hierarchy::{
+    l1_geometry, run_functional, BlockSet, FunctionalStats, Hierarchy, IdentityHasher, L2Complex,
+    Level,
+};
 pub use pipeline::{Pipeline, RunStats};
+pub use replay::{capture_functional, replay_into, replay_l2, L2Event, L2Trace, L2TraceBuilder};

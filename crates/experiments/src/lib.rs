@@ -27,6 +27,7 @@ pub mod ablation;
 pub mod faultinject;
 pub mod figures;
 pub mod multicore;
+pub mod replay_cache;
 pub mod report;
 pub mod resilience;
 pub mod runner;
@@ -38,5 +39,6 @@ pub use resilience::{
     EXIT_OK, EXIT_PARTIAL,
 };
 pub use runner::{
-    default_insts, run_functional_l2, run_timed, try_parallel_map, L2Kind, PAPER_L2,
+    default_insts, run_functional_l2, run_functional_l2_cfg, run_timed, try_parallel_map, L2Kind,
+    PAPER_L2,
 };

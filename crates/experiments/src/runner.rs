@@ -3,8 +3,8 @@
 use crate::faultinject::{FaultSpec, FaultyCache};
 use crate::resilience::ExperimentError;
 use adaptive_cache::{
-    AdaptiveCache, AdaptiveConfig, DipCache, DipConfig, MultiAdaptiveCache, MultiConfig,
-    SbarCache, SbarConfig,
+    AdaptiveCache, AdaptiveConfig, DipCache, DipConfig, MultiAdaptiveCache, MultiConfig, SbarCache,
+    SbarConfig,
 };
 use cache_sim::{Cache, CacheModel, Geometry, PolicyKind};
 use cpu_model::{run_functional, CpuConfig, FunctionalStats, Hierarchy, Pipeline, RunStats};
@@ -23,11 +23,19 @@ const CACHE_SEED: u64 = 0x0C0FFEE;
 /// Overridable via the `AC_INSTS` environment variable; the paper uses
 /// 100M-instruction SimPoints, which the synthetic workloads do not need —
 /// their behaviour is stationary (or deliberately phased) by construction.
+///
+/// Parsed once per process: sweeps call this per cell, and the value
+/// must not drift mid-sweep anyway. An unparsable value falls back to
+/// 2M with a leveled warning instead of silently.
 pub fn default_insts() -> u64 {
-    std::env::var("AC_INSTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000_000)
+    static INSTS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *INSTS.get_or_init(|| match std::env::var("AC_INSTS") {
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            ac_telemetry::warn!("AC_INSTS={v:?} is not an instruction count; using 2000000");
+            2_000_000
+        }),
+        Err(_) => 2_000_000,
+    })
 }
 
 /// An L2 organisation under test.
@@ -120,14 +128,38 @@ pub fn run_functional_l2(
     l2_geom: (usize, usize, usize),
     insts: u64,
 ) -> Result<MpkiResult, ExperimentError> {
-    let _span = ac_telemetry::span("run", || {
+    run_functional_l2_cfg(bench, kind, l2_geom, insts, &CpuConfig::paper_default())
+}
+
+/// [`run_functional_l2`] with an explicit CPU configuration (the L1
+/// parameters key the replay cache; the rest is unused functionally).
+///
+/// Unless `AC_REPLAY=0`, the front-end runs at most once per
+/// `(benchmark, L1 config, insts)` key process-wide: the first cell
+/// captures the L2-visible reference stream, every cell (including the
+/// first) replays it against its own L2 — see [`crate::replay_cache`].
+pub fn run_functional_l2_cfg(
+    bench: &Benchmark,
+    kind: &L2Kind,
+    l2_geom: (usize, usize, usize),
+    insts: u64,
+    config: &CpuConfig,
+) -> Result<MpkiResult, ExperimentError> {
+    let mut span = ac_telemetry::span("run", || {
         format!("functional {} x {}", bench.name, kind.label())
     });
     let geom = Geometry::new(l2_geom.0, l2_geom.1, l2_geom.2)?;
-    let l2 = kind.build(geom);
-    let config = CpuConfig::paper_default();
-    let mut hierarchy = Hierarchy::new(&config, l2);
-    let stats = run_functional(&mut hierarchy, bench.spec.generator(), insts);
+    let stats = if crate::replay_cache::replay_enabled() {
+        let (trace, captured_here) = crate::replay_cache::get_or_capture(bench, config, insts);
+        span.set_attr("frontend_skipped", || (!captured_here).to_string());
+        let mut l2 = kind.build(geom);
+        cpu_model::replay_l2(&trace, &mut l2)
+    } else {
+        span.set_attr("frontend_skipped", || "false".to_string());
+        let l2 = kind.build(geom);
+        let mut hierarchy = Hierarchy::new(config, l2);
+        run_functional(&mut hierarchy, bench.spec.generator(), insts)
+    };
     Ok(MpkiResult {
         benchmark: bench.name.to_string(),
         l2: kind.label(),
@@ -163,9 +195,7 @@ pub fn run_timed_with_geom(
     geom: Geometry,
     insts: u64,
 ) -> RunStats {
-    let _span = ac_telemetry::span("run", || {
-        format!("timed {} x {}", bench.name, kind.label())
-    });
+    let _span = ac_telemetry::span("run", || format!("timed {} x {}", bench.name, kind.label()));
     let l2 = kind.build(geom);
     let mut pipe = Pipeline::new(config, l2);
     pipe.run(bench.spec.generator(), insts)
@@ -283,7 +313,11 @@ mod tests {
     fn functional_run_produces_misses() {
         let b = &primary_suite()[1]; // applu: guaranteed L2-hostile scan
         let r = run_functional_l2(b, &L2Kind::Plain(PolicyKind::Lru), PAPER_L2, 100_000).unwrap();
-        assert!(r.stats.l2_mpki() > 1.0, "applu must exceed 1 MPKI, got {}", r.stats.l2_mpki());
+        assert!(
+            r.stats.l2_mpki() > 1.0,
+            "applu must exceed 1 MPKI, got {}",
+            r.stats.l2_mpki()
+        );
     }
 
     #[test]
@@ -316,9 +350,8 @@ mod tests {
     #[test]
     fn bad_geometry_is_a_typed_error() {
         let b = &primary_suite()[0];
-        let err =
-            run_functional_l2(b, &L2Kind::Plain(PolicyKind::Lru), (1000, 64, 7), 1_000)
-                .unwrap_err();
+        let err = run_functional_l2(b, &L2Kind::Plain(PolicyKind::Lru), (1000, 64, 7), 1_000)
+            .unwrap_err();
         assert!(matches!(err, ExperimentError::Geometry(_)), "{err}");
     }
 
@@ -343,7 +376,11 @@ mod tests {
             if i == 7 {
                 assert!(matches!(r, Err(ExperimentError::Panic(m)) if m.contains("item 7")));
             } else {
-                assert_eq!(r.as_ref().unwrap(), &(i as u64 + 1), "sibling {i} must complete");
+                assert_eq!(
+                    r.as_ref().unwrap(),
+                    &(i as u64 + 1),
+                    "sibling {i} must complete"
+                );
             }
         }
     }

@@ -118,9 +118,22 @@ impl Telemetry {
             push_str_escaped(&mut out, s.cat);
             let _ = write!(
                 out,
-                ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{}}}",
+                ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{}",
                 s.ts_us, s.dur_us, s.tid
             );
+            if !s.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in s.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    push_str_escaped(&mut out, k);
+                    out.push(':');
+                    push_str_escaped(&mut out, v);
+                }
+                out.push('}');
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
@@ -237,6 +250,7 @@ mod tests {
             ts_us: 5,
             dur_us: 100,
             tid: 7,
+            args: vec![("frontend_skipped", "true".to_string())],
         });
         t.decision(DecisionEvent::Imitation {
             set: 1,
@@ -303,6 +317,10 @@ mod tests {
         assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
         assert!(text.contains("\"name\":\"fig03\""));
         assert!(text.contains("\"ph\":\"X\""));
+        assert!(
+            text.contains("\"args\":{\"frontend_skipped\":\"true\"}"),
+            "span attrs exported: {text}"
+        );
         assert!(text.ends_with("]}"));
     }
 

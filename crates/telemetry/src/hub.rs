@@ -595,6 +595,7 @@ mod tests {
                 ts_us: 0,
                 dur_us: dur,
                 tid: 1,
+                args: Vec::new(),
             });
         }
         let totals = t.span_totals();

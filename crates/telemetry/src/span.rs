@@ -26,6 +26,9 @@ pub struct SpanRecord {
     pub dur_us: u64,
     /// An opaque thread identifier (stable within the process).
     pub tid: u64,
+    /// Attached key/value attributes (exported as Chrome trace `args`),
+    /// e.g. whether a sweep cell skipped the front-end via replay.
+    pub args: Vec<(&'static str, String)>,
 }
 
 /// An open span; records itself through the global recorder on drop.
@@ -43,6 +46,7 @@ struct LiveSpan {
     cat: &'static str,
     ts_us: u64,
     start: Instant,
+    args: Vec<(&'static str, String)>,
 }
 
 impl Span {
@@ -57,6 +61,7 @@ impl Span {
                 cat,
                 ts_us: now_us(),
                 start: Instant::now(),
+                args: Vec::new(),
             }),
         }
     }
@@ -64,6 +69,14 @@ impl Span {
     /// Whether this span will record on drop.
     pub fn is_recording(&self) -> bool {
         self.live.is_some()
+    }
+
+    /// Attaches a key/value attribute to the span (a no-op — and
+    /// allocation-free, since `value` is lazy — on a disabled span).
+    pub fn set_attr(&mut self, key: &'static str, value: impl FnOnce() -> String) {
+        if let Some(live) = self.live.as_mut() {
+            live.args.push((key, value()));
+        }
     }
 
     /// Closes the span early (equivalent to dropping it).
@@ -79,6 +92,7 @@ impl Drop for Span {
                 ts_us: live.ts_us,
                 dur_us: live.start.elapsed().as_micros() as u64,
                 tid: thread_id(),
+                args: live.args,
             };
             if let Some(r) = crate::recorder() {
                 r.span_record(record);
@@ -111,9 +125,21 @@ mod tests {
 
     #[test]
     fn disabled_span_is_inert() {
-        let s = Span::disabled();
+        let mut s = Span::disabled();
         assert!(!s.is_recording());
+        s.set_attr("key", || {
+            panic!("attr value must not be built while disabled")
+        });
         s.finish();
+    }
+
+    #[test]
+    fn live_span_collects_attrs() {
+        let mut s = Span::live("test", "named".into());
+        s.set_attr("frontend_skipped", || "true".into());
+        let live = s.live.as_ref().unwrap();
+        assert_eq!(live.args, vec![("frontend_skipped", "true".to_string())]);
+        // No recorder installed in unit tests: dropping discards.
     }
 
     #[test]

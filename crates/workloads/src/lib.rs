@@ -39,6 +39,7 @@
 
 mod inst;
 mod mix;
+pub mod packed;
 mod pattern;
 mod stack;
 mod suite;
