@@ -57,4 +57,8 @@ pub use hierarchy::{
     Level,
 };
 pub use pipeline::{Pipeline, RunStats};
+pub use replay::persist::{
+    config_fingerprint, decode_trace, encode_trace, load_trace, save_trace, FaultyIo, IoFaultPlan,
+    PersistError, ReplayIo, StdIo,
+};
 pub use replay::{capture_functional, replay_into, replay_l2, L2Event, L2Trace, L2TraceBuilder};

@@ -1,0 +1,839 @@
+//! Crash-safe persistence for captured [`L2Trace`]s: the **ACRS** file
+//! format plus the [`ReplayIo`] abstraction the on-disk replay store is
+//! driven through (and fault-tested through — see [`FaultyIo`]).
+//!
+//! # Format (`.acrs`, version 1, little-endian)
+//!
+//! ```text
+//! "ACRS" u8 version
+//! frame(meta)            — 16 × u64: fingerprint, FunctionalStats (6),
+//!                          total_ticks, sched_window, and the
+//!                          (len, final-value) pairs of every sequence
+//! frame(addrs bytes)     — zigzag-varint address deltas
+//! frame(insts bytes)     — varint instruction-index deltas
+//! frame(writebacks bytes)— packed flag bits
+//! frame(sched_ticks)     — timeline record-point ticks
+//! frame(sched_insts)     — timeline record-point instruction indices
+//! u64 body_len | u32 crc32(body_len) | "SRCA"   — footer, written last
+//! ```
+//!
+//! where `frame(x)` is `workloads::packed`'s checksummed framing
+//! (`u64 length ‖ u32 crc32 ‖ payload`). Every failure mode maps to a
+//! detector:
+//!
+//! * **truncation / torn write** — the footer is the last thing written;
+//!   a cut file either loses the `SRCA` terminator or the stamped
+//!   `body_len` disagrees with the actual size. Cuts inside a section
+//!   are additionally caught by that frame's declared length.
+//! * **bit flip** — per-section CRC-32 (and the footer's own CRC over
+//!   its length stamp). A checksum-passing but internally inconsistent
+//!   section (impossible by accident, conceivable by construction) is
+//!   still rejected by `DeltaSeq::from_parts`'s decode validation.
+//! * **version / config skew** — the leading version byte plus a caller
+//!   supplied `fingerprint` stored in the meta section: captures made by
+//!   an incompatible writer (different format revision, different
+//!   timeline window, different key hash) never replay.
+//!
+//! Writes go through [`ReplayIo::write_atomic`] — write a temp file in
+//! the same directory, `fsync` it, rename it over the destination, then
+//! `fsync` the directory — so a reader can never observe a half-written
+//! entry under POSIX rename semantics, and a crash leaves at worst a
+//! stale `.tmp.*` file that garbage collection sweeps.
+//!
+//! The format is designed to be mmap-friendly (self-describing sections,
+//! stable little-endian layout); the workspace-wide
+//! `#![forbid(unsafe_code)]` rules out an actual `mmap(2)` binding, so
+//! [`load_trace`] reads the file once into memory and decodes with one
+//! copy per section.
+
+use super::L2Trace;
+use crate::hierarchy::FunctionalStats;
+use std::fmt;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use workloads::packed::{crc32, read_frame, write_frame, BitSeq, DeltaSeq, FrameError};
+
+/// ACRS format revision. Bump on any layout change; readers reject
+/// everything but their own version (persisted captures are a cache —
+/// regeneration is always possible and always preferred over migration).
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Leading magic of an ACRS file.
+pub const MAGIC: &[u8; 4] = b"ACRS";
+
+/// Trailing magic of the footer (the leading magic reversed, so a file
+/// glued together from two valid prefixes still fails the footer check).
+pub const FOOTER_MAGIC: &[u8; 4] = b"SRCA";
+
+/// Footer size: `u64` body length + `u32` CRC of it + trailing magic.
+const FOOTER_BYTES: usize = 8 + 4 + 4;
+
+/// Why a persisted capture could not be written or read back. Every
+/// non-I/O variant means the file must be discarded and the capture
+/// regenerated; none of them can yield a partially-decoded trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Underlying I/O failure (open, read, write, fsync, rename).
+    Io(io::Error),
+    /// The file does not start with the ACRS magic.
+    BadMagic,
+    /// The file is ACRS but from an incompatible format revision.
+    BadVersion(u8),
+    /// The file ends before or inside the footer, or the footer's
+    /// stamped length disagrees with the actual file size (torn write /
+    /// truncation).
+    Truncated(&'static str),
+    /// A section failed its checksum or internal validation.
+    Corrupt(String),
+    /// The capture was made under an incompatible configuration (format
+    /// revision, timeline window or key hash differ).
+    FingerprintMismatch {
+        /// Fingerprint the reader expected.
+        expected: u64,
+        /// Fingerprint recorded in the file.
+        found: u64,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "replay store I/O error: {e}"),
+            PersistError::BadMagic => write!(f, "not an ACRS capture (bad magic)"),
+            PersistError::BadVersion(v) => write!(
+                f,
+                "ACRS version {v} is not readable by this build (wants {FORMAT_VERSION})"
+            ),
+            PersistError::Truncated(what) => {
+                write!(
+                    f,
+                    "ACRS capture truncated ({what}) — torn or unfinished write"
+                )
+            }
+            PersistError::Corrupt(what) => write!(f, "ACRS capture corrupt: {what}"),
+            PersistError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "ACRS capture fingerprint {found:#018x} does not match the expected \
+                 {expected:#018x} (stale format or configuration skew)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<FrameError> for PersistError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::TruncatedHeader | FrameError::TruncatedPayload { .. } => {
+                PersistError::Truncated("section frame cut short")
+            }
+            FrameError::Checksum { .. } => PersistError::Corrupt(e.to_string()),
+        }
+    }
+}
+
+/// Fingerprint of everything (beyond the key) that shapes a capture:
+/// the ACRS format revision and the timeline window the schedule was
+/// captured for. Two processes whose fingerprints differ must not share
+/// entries — their captures would replay with diverging timelines.
+pub fn config_fingerprint() -> u64 {
+    fnv(&[u64::from(FORMAT_VERSION), super::capture_window()])
+}
+
+/// FNV-1a over a word sequence (same mixing the replay-cache key uses).
+pub fn fnv(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Serialises `trace` into a self-validating ACRS document.
+pub fn encode_trace(trace: &L2Trace, fingerprint: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(trace.approx_bytes() + 256);
+    out.extend_from_slice(MAGIC);
+    out.push(FORMAT_VERSION);
+
+    let front = trace.front;
+    let meta: [u64; 16] = [
+        fingerprint,
+        front.instructions,
+        front.data_accesses,
+        front.inst_fetches,
+        front.l1d_misses,
+        front.l1i_misses,
+        front.l2_misses,
+        trace.total_ticks,
+        trace.sched_window,
+        trace.addrs.len() as u64,
+        trace.addrs.final_value(),
+        trace.insts.len() as u64,
+        trace.insts.final_value(),
+        trace.writebacks.len() as u64,
+        trace.sched_ticks.len() as u64,
+        trace.sched_ticks.final_value(),
+    ];
+    let mut meta_bytes = Vec::with_capacity(meta.len() * 8 + 16);
+    for w in meta {
+        meta_bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    // sched_insts rides after the fixed block (kept separate so the
+    // fixed block stays 16 words; both are inside the same frame).
+    meta_bytes.extend_from_slice(&(trace.sched_insts.len() as u64).to_le_bytes());
+    meta_bytes.extend_from_slice(&trace.sched_insts.final_value().to_le_bytes());
+    write_frame(&mut out, &meta_bytes);
+
+    write_frame(&mut out, trace.addrs.as_bytes());
+    write_frame(&mut out, trace.insts.as_bytes());
+    write_frame(&mut out, trace.writebacks.as_bytes());
+    write_frame(&mut out, trace.sched_ticks.as_bytes());
+    write_frame(&mut out, trace.sched_insts.as_bytes());
+
+    let body_len = out.len() as u64;
+    out.extend_from_slice(&body_len.to_le_bytes());
+    out.extend_from_slice(&crc32(&body_len.to_le_bytes()).to_le_bytes());
+    out.extend_from_slice(FOOTER_MAGIC);
+    out
+}
+
+/// Reads one little-endian `u64` from `bytes` at word index `i`.
+fn word(bytes: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(
+        bytes[i * 8..i * 8 + 8]
+            .try_into()
+            .expect("validated length"),
+    )
+}
+
+/// Decodes and fully validates an ACRS document. `expected_fingerprint`
+/// must match the recorded one — pass the same value that was given to
+/// [`encode_trace`].
+pub fn decode_trace(bytes: &[u8], expected_fingerprint: u64) -> Result<L2Trace, PersistError> {
+    // Footer first: it is written last, so its absence (or a length
+    // disagreement) proves the write never completed.
+    if bytes.len() < 5 + FOOTER_BYTES {
+        return Err(PersistError::Truncated("shorter than header + footer"));
+    }
+    let footer = &bytes[bytes.len() - FOOTER_BYTES..];
+    if &footer[12..16] != FOOTER_MAGIC {
+        return Err(PersistError::Truncated("footer magic missing"));
+    }
+    let stamped = u64::from_le_bytes(footer[..8].try_into().expect("16-byte footer"));
+    let footer_crc = u32::from_le_bytes(footer[8..12].try_into().expect("16-byte footer"));
+    if crc32(&footer[..8]) != footer_crc {
+        return Err(PersistError::Corrupt(
+            "footer length stamp fails its CRC".into(),
+        ));
+    }
+    if stamped != (bytes.len() - FOOTER_BYTES) as u64 {
+        return Err(PersistError::Truncated(
+            "footer length stamp disagrees with file size",
+        ));
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    if bytes[4] != FORMAT_VERSION {
+        return Err(PersistError::BadVersion(bytes[4]));
+    }
+
+    let body = &bytes[..bytes.len() - FOOTER_BYTES];
+    let mut pos = 5usize;
+    let meta = read_frame(body, &mut pos)?;
+    if meta.len() != 18 * 8 {
+        return Err(PersistError::Corrupt(format!(
+            "meta section is {} bytes, expected {}",
+            meta.len(),
+            18 * 8
+        )));
+    }
+    let fingerprint = word(meta, 0);
+    if fingerprint != expected_fingerprint {
+        return Err(PersistError::FingerprintMismatch {
+            expected: expected_fingerprint,
+            found: fingerprint,
+        });
+    }
+    let front = FunctionalStats {
+        instructions: word(meta, 1),
+        data_accesses: word(meta, 2),
+        inst_fetches: word(meta, 3),
+        l1d_misses: word(meta, 4),
+        l1i_misses: word(meta, 5),
+        l2_misses: word(meta, 6),
+    };
+    let total_ticks = word(meta, 7);
+    let sched_window = word(meta, 8);
+
+    let section = |name: &'static str,
+                   pos: &mut usize,
+                   len: u64,
+                   finalv: u64|
+     -> Result<DeltaSeq, PersistError> {
+        let payload = read_frame(body, pos)?;
+        let len = usize::try_from(len)
+            .map_err(|_| PersistError::Corrupt(format!("{name}: absurd element count {len}")))?;
+        DeltaSeq::from_parts(payload.to_vec(), len, finalv).ok_or_else(|| {
+            PersistError::Corrupt(format!(
+                "{name}: checksummed bytes do not decode to the declared {len} elements"
+            ))
+        })
+    };
+    let addrs = section("addrs", &mut pos, word(meta, 9), word(meta, 10))?;
+    let insts = section("insts", &mut pos, word(meta, 11), word(meta, 12))?;
+    let wb_payload = read_frame(body, &mut pos)?;
+    let wb_len = usize::try_from(word(meta, 13))
+        .map_err(|_| PersistError::Corrupt("writebacks: absurd element count".into()))?;
+    let writebacks = BitSeq::from_parts(wb_payload.to_vec(), wb_len).ok_or_else(|| {
+        PersistError::Corrupt(format!(
+            "writebacks: checksummed bytes do not match the declared {wb_len} flags"
+        ))
+    })?;
+    let sched_ticks = section("sched_ticks", &mut pos, word(meta, 14), word(meta, 15))?;
+    let sched_insts = section("sched_insts", &mut pos, word(meta, 16), word(meta, 17))?;
+    if pos != body.len() {
+        return Err(PersistError::Corrupt(format!(
+            "{} unaccounted bytes between the last section and the footer",
+            body.len() - pos
+        )));
+    }
+    // Cross-section consistency: the three event streams must agree on
+    // the event count, and the schedule's two streams on theirs.
+    if addrs.len() != insts.len() || addrs.len() != writebacks.len() {
+        return Err(PersistError::Corrupt(format!(
+            "event sections disagree on length ({} addrs, {} insts, {} flags)",
+            addrs.len(),
+            insts.len(),
+            writebacks.len()
+        )));
+    }
+    if sched_ticks.len() != sched_insts.len() {
+        return Err(PersistError::Corrupt(format!(
+            "schedule sections disagree on length ({} ticks, {} insts)",
+            sched_ticks.len(),
+            sched_insts.len()
+        )));
+    }
+    Ok(L2Trace {
+        front,
+        addrs,
+        insts,
+        writebacks,
+        sched_ticks,
+        sched_insts,
+        sched_window,
+        total_ticks,
+    })
+}
+
+/// Encodes `trace` and writes it crash-safely to `path` via `io`.
+/// Returns the encoded size in bytes.
+pub fn save_trace(
+    io: &dyn ReplayIo,
+    path: &Path,
+    trace: &L2Trace,
+    fingerprint: u64,
+) -> Result<usize, PersistError> {
+    let bytes = encode_trace(trace, fingerprint);
+    io.write_atomic(path, &bytes)?;
+    Ok(bytes.len())
+}
+
+/// Reads `path` via `io` and decodes it with full validation.
+pub fn load_trace(
+    io: &dyn ReplayIo,
+    path: &Path,
+    expected_fingerprint: u64,
+) -> Result<L2Trace, PersistError> {
+    let bytes = io.read(path)?;
+    decode_trace(&bytes, expected_fingerprint)
+}
+
+/// The file operations the persistent replay store performs, abstracted
+/// so deterministic fault injection can slot in underneath it (the store
+/// never touches `std::fs` for entry data directly).
+pub trait ReplayIo: fmt::Debug + Send + Sync {
+    /// Reads the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Writes `bytes` to `path` such that concurrent readers observe
+    /// either the old content or the new content, never a mix, and a
+    /// crash cannot leave a partial file at `path`.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Removes the file at `path` (missing files are not an error).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem: write-temp → fsync → rename → fsync-directory.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdIo;
+
+impl ReplayIo for StdIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            // Data must be durable before the rename publishes it: a
+            // rename that survives a crash but points at unwritten data
+            // is exactly the torn-write failure the format detects —
+            // better never to create it.
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, path)?;
+            if let Some(dir) = dir {
+                // Make the rename itself durable. Directories cannot be
+                // fsync'd on every platform; failure to sync is not
+                // failure to write (the entry is valid, just not yet
+                // crash-durable), so errors here are ignored.
+                if let Ok(d) = std::fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A deterministic fault plan for [`FaultyIo`]. Each armed fault fires
+/// on the **first matching operation** and then disarms — modelling one
+/// crash/corruption event whose recovery path must then succeed.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    /// Torn write: only the first `n` bytes reach the destination (the
+    /// write is reported successful — the classic non-atomic-writer
+    /// crash a later reader must detect).
+    pub torn_write: Option<u64>,
+    /// Fail this many `write_atomic` calls with an `ENOSPC`-style error
+    /// (nothing reaches the destination).
+    pub enospc_writes: u32,
+    /// Fail this many `read` calls with an `EIO`-style error.
+    pub eio_reads: u32,
+    /// Short read: one `read` returns only the first `n` bytes.
+    pub short_read: Option<u64>,
+    /// Bit flip: one `read` XORs `mask` into the byte at `offset`
+    /// (clamped to the last byte when out of range).
+    pub bit_flip: Option<(u64, u8)>,
+}
+
+impl IoFaultPlan {
+    /// A plan injecting no faults.
+    pub fn none() -> IoFaultPlan {
+        IoFaultPlan::default()
+    }
+
+    /// Derives one pseudo-random fault from `seed` (splitmix64), so a
+    /// property test can sweep the whole fault space from one integer.
+    pub fn from_seed(seed: u64) -> IoFaultPlan {
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let offset = next() % 4096;
+        match next() % 5 {
+            0 => IoFaultPlan {
+                torn_write: Some(offset),
+                ..IoFaultPlan::default()
+            },
+            1 => IoFaultPlan {
+                enospc_writes: 1,
+                ..IoFaultPlan::default()
+            },
+            2 => IoFaultPlan {
+                eio_reads: 1,
+                ..IoFaultPlan::default()
+            },
+            3 => IoFaultPlan {
+                short_read: Some(offset),
+                ..IoFaultPlan::default()
+            },
+            _ => IoFaultPlan {
+                bit_flip: Some((offset, 1 << (next() % 8))),
+                ..IoFaultPlan::default()
+            },
+        }
+    }
+
+    /// Parses a fault spec string (the `AC_REPLAY_FAULT` syntax):
+    /// comma-separated `torn_write=N`, `enospc[=N]`, `eio[=N]`,
+    /// `short_read=N`, `bit_flip=OFFSET:MASK`, `seed=N` (exclusive with
+    /// the rest). Numbers may be decimal or `0x` hex.
+    pub fn parse(spec: &str) -> Result<IoFaultPlan, String> {
+        fn num(s: &str) -> Result<u64, String> {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.map_err(|_| format!("not a number: {s:?}"))
+        }
+        let mut plan = IoFaultPlan::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = match part.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v)),
+                None => (part, None),
+            };
+            match (key, value) {
+                ("seed", Some(v)) => return Ok(IoFaultPlan::from_seed(num(v)?)),
+                ("torn_write", Some(v)) => plan.torn_write = Some(num(v)?),
+                ("enospc", v) => {
+                    plan.enospc_writes = v.map_or(Ok(1), num)? as u32;
+                }
+                ("eio", v) => {
+                    plan.eio_reads = v.map_or(Ok(1), num)? as u32;
+                }
+                ("short_read", Some(v)) => plan.short_read = Some(num(v)?),
+                ("bit_flip", Some(v)) => {
+                    let (off, mask) = v
+                        .split_once(':')
+                        .ok_or_else(|| format!("bit_flip wants OFFSET:MASK, got {v:?}"))?;
+                    let mask = num(mask)?;
+                    if mask == 0 || mask > 0xFF {
+                        return Err(format!("bit_flip mask {mask:#x} is not a byte mask"));
+                    }
+                    plan.bit_flip = Some((num(off)?, mask as u8));
+                }
+                _ => return Err(format!("unknown fault clause {part:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// A [`ReplayIo`] that injects the faults of an [`IoFaultPlan`] over an
+/// inner implementation (the real filesystem by default). Deterministic:
+/// the same plan over the same operation sequence produces the same
+/// failure, and each armed fault fires exactly once.
+#[derive(Debug)]
+pub struct FaultyIo {
+    inner: Box<dyn ReplayIo>,
+    plan: Mutex<IoFaultPlan>,
+    injected: AtomicU64,
+}
+
+impl FaultyIo {
+    /// Faulty wrapper over the real filesystem.
+    pub fn new(plan: IoFaultPlan) -> FaultyIo {
+        FaultyIo::wrapping(Box::new(StdIo), plan)
+    }
+
+    /// Faulty wrapper over any [`ReplayIo`].
+    pub fn wrapping(inner: Box<dyn ReplayIo>, plan: IoFaultPlan) -> FaultyIo {
+        FaultyIo {
+            inner,
+            plan: Mutex::new(plan),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Total faults injected so far (for asserting a fault actually
+    /// fired — a chaos test whose fault never triggers proves nothing).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Re-arms the plan (tests reuse one instance across scenarios).
+    pub fn set_plan(&self, plan: IoFaultPlan) {
+        *self.plan.lock().expect("fault plan poisoned") = plan;
+    }
+
+    fn fired(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl ReplayIo for FaultyIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        {
+            let mut plan = self.plan.lock().expect("fault plan poisoned");
+            if plan.eio_reads > 0 {
+                plan.eio_reads -= 1;
+                drop(plan);
+                self.fired();
+                return Err(io::Error::other(format!(
+                    "injected fault: EIO reading {}",
+                    path.display()
+                )));
+            }
+        }
+        let mut data = self.inner.read(path)?;
+        let mut plan = self.plan.lock().expect("fault plan poisoned");
+        if let Some(n) = plan.short_read.take() {
+            drop(plan);
+            self.fired();
+            data.truncate(n as usize);
+            return Ok(data);
+        }
+        if let Some((offset, mask)) = plan.bit_flip.take() {
+            drop(plan);
+            self.fired();
+            if let Some(last) = data.len().checked_sub(1) {
+                let at = (offset as usize).min(last);
+                data[at] ^= mask;
+            }
+            return Ok(data);
+        }
+        Ok(data)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut plan = self.plan.lock().expect("fault plan poisoned");
+        if plan.enospc_writes > 0 {
+            plan.enospc_writes -= 1;
+            drop(plan);
+            self.fired();
+            return Err(io::Error::other(format!(
+                "injected fault: ENOSPC writing {}",
+                path.display()
+            )));
+        }
+        if let Some(n) = plan.torn_write.take() {
+            drop(plan);
+            self.fired();
+            // Model a non-atomic writer dying mid-write: a prefix of the
+            // data lands at the *final* path and success is reported.
+            let cut = (n as usize).min(bytes.len());
+            return std::fs::write(path, &bytes[..cut]);
+        }
+        drop(plan);
+        self.inner.write_atomic(path, bytes)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpuConfig;
+    use crate::replay::capture_functional;
+    use workloads::{Inst, InstKind};
+
+    fn small_trace() -> L2Trace {
+        let cfg = CpuConfig::paper_default();
+        let stream = (0..5_000u64).map(|i| {
+            Inst::free(
+                0x40_0000 + (i % 32) * 4,
+                InstKind::Load {
+                    addr: (i.wrapping_mul(17) % 800) * 64,
+                },
+            )
+        });
+        capture_functional(&cfg, stream, 5_000)
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_identically() {
+        let trace = small_trace();
+        let fp = config_fingerprint();
+        let bytes = encode_trace(&trace, fp);
+        let back = decode_trace(&bytes, fp).expect("clean bytes decode");
+        // Field-for-field equality, including the packed buffers.
+        assert_eq!(back.front, trace.front);
+        assert_eq!(back.addrs, trace.addrs);
+        assert_eq!(back.insts, trace.insts);
+        assert_eq!(back.writebacks, trace.writebacks);
+        assert_eq!(back.sched_ticks, trace.sched_ticks);
+        assert_eq!(back.sched_insts, trace.sched_insts);
+        assert_eq!(back.sched_window, trace.sched_window);
+        assert_eq!(back.total_ticks, trace.total_ticks);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = L2Trace::default();
+        let bytes = encode_trace(&trace, 7);
+        let back = decode_trace(&bytes, 7).expect("empty capture persists");
+        assert!(back.is_empty());
+        assert_eq!(back.front, trace.front);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let bytes = encode_trace(&small_trace(), 1);
+        match decode_trace(&bytes, 2) {
+            Err(PersistError::FingerprintMismatch {
+                expected: 2,
+                found: 1,
+            }) => {}
+            other => panic!("wrong outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut bytes = encode_trace(&small_trace(), 1);
+        bytes[4] = FORMAT_VERSION + 1;
+        assert!(matches!(
+            decode_trace(&bytes, 1),
+            Err(PersistError::BadVersion(_))
+        ));
+        let mut bad_magic = encode_trace(&small_trace(), 1);
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_trace(&bad_magic, 1),
+            Err(PersistError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected() {
+        let bytes = encode_trace(&small_trace(), 9);
+        // Any proper prefix must fail loudly — the torn-write guarantee.
+        for cut in [0, 4, 5, 17, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_trace(&bytes[..cut], 9).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn appended_garbage_is_detected() {
+        let mut bytes = encode_trace(&small_trace(), 9);
+        bytes.extend_from_slice(b"trailing junk");
+        assert!(decode_trace(&bytes, 9).is_err());
+    }
+
+    #[test]
+    fn std_io_write_is_atomic_and_cleans_temp() {
+        let dir = std::env::temp_dir().join(format!("acrs_stdio_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.acrs");
+        let io = StdIo;
+        io.write_atomic(&path, b"first").unwrap();
+        io.write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        io.remove(&path).unwrap();
+        io.remove(&path).unwrap(); // second remove: not an error
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_io_injects_each_fault_once() {
+        let dir = std::env::temp_dir().join(format!("acrs_faulty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("y.acrs");
+
+        // ENOSPC once, then the retry succeeds.
+        let io = FaultyIo::new(IoFaultPlan {
+            enospc_writes: 1,
+            ..IoFaultPlan::default()
+        });
+        assert!(io.write_atomic(&path, b"payload").is_err());
+        io.write_atomic(&path, b"payload").unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"payload");
+
+        // Torn write: a prefix lands and is reported as success.
+        io.set_plan(IoFaultPlan {
+            torn_write: Some(3),
+            ..IoFaultPlan::default()
+        });
+        io.write_atomic(&path, b"0123456789").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"012");
+        io.write_atomic(&path, b"0123456789").unwrap(); // disarmed
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123456789");
+
+        // EIO then short read then bit flip, each exactly once.
+        io.set_plan(IoFaultPlan {
+            eio_reads: 1,
+            short_read: Some(4),
+            bit_flip: Some((1, 0x80)),
+            ..IoFaultPlan::default()
+        });
+        assert!(io.read(&path).is_err());
+        assert_eq!(io.read(&path).unwrap(), b"0123");
+        let flipped = io.read(&path).unwrap();
+        assert_eq!(flipped[1], b'1' ^ 0x80);
+        assert_eq!(io.read(&path).unwrap(), b"0123456789");
+        assert_eq!(io.injected(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_plan_parses_and_rejects() {
+        assert_eq!(
+            IoFaultPlan::parse("torn_write=100").unwrap(),
+            IoFaultPlan {
+                torn_write: Some(100),
+                ..IoFaultPlan::default()
+            }
+        );
+        assert_eq!(
+            IoFaultPlan::parse("enospc, eio=2, bit_flip=0x40:0x01").unwrap(),
+            IoFaultPlan {
+                enospc_writes: 1,
+                eio_reads: 2,
+                bit_flip: Some((0x40, 0x01)),
+                ..IoFaultPlan::default()
+            }
+        );
+        assert_eq!(IoFaultPlan::parse("").unwrap(), IoFaultPlan::none());
+        // Seeded plans are deterministic and arm exactly one fault.
+        for seed in 0..64u64 {
+            let a = IoFaultPlan::from_seed(seed);
+            assert_eq!(a, IoFaultPlan::from_seed(seed));
+            assert_eq!(a, IoFaultPlan::parse(&format!("seed={seed}")).unwrap());
+            let armed = usize::from(a.torn_write.is_some())
+                + usize::from(a.enospc_writes > 0)
+                + usize::from(a.eio_reads > 0)
+                + usize::from(a.short_read.is_some())
+                + usize::from(a.bit_flip.is_some());
+            assert_eq!(armed, 1, "seed {seed} armed {armed} faults");
+        }
+        assert!(IoFaultPlan::parse("frobnicate=1").is_err());
+        assert!(IoFaultPlan::parse("bit_flip=4").is_err());
+        assert!(IoFaultPlan::parse("bit_flip=4:0").is_err());
+        assert!(IoFaultPlan::parse("torn_write=xyz").is_err());
+    }
+}

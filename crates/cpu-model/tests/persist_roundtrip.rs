@@ -1,0 +1,183 @@
+//! Robustness properties of the persistent ACRS capture format:
+//!
+//! 1. a persisted capture round-trips bit-identically through disk —
+//!    replaying the loaded trace is indistinguishable from replaying
+//!    the in-memory one, for arbitrary event streams;
+//! 2. flipping any single bit of a persisted file is detected (the
+//!    reader errors; it never yields a decodable-but-different trace);
+//! 3. under every seeded I/O fault plan, a save/load cycle either
+//!    fails loudly or returns the exact original — never garbage.
+
+use cache_sim::{Cache, CacheModel, Geometry, PolicyKind};
+use cpu_model::{
+    capture_functional, decode_trace, encode_trace, load_trace, replay_l2, save_trace, CpuConfig,
+    FaultyIo, FunctionalStats, IoFaultPlan, L2Trace, L2TraceBuilder, StdIo,
+};
+use proptest::prelude::*;
+use workloads::{primary_suite, Inst, InstKind};
+
+fn paper_geom() -> Geometry {
+    Geometry::new(512 * 1024, 64, 8).unwrap()
+}
+
+const SEED: u64 = 0x0C0FFEE;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("persist_roundtrip_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small but non-trivial real capture (exercises both L1s, writebacks
+/// and the timeline schedule).
+fn real_capture() -> L2Trace {
+    let cfg = CpuConfig::paper_default();
+    let bench = &primary_suite()[0];
+    capture_functional(&cfg, bench.spec.generator(), 20_000)
+}
+
+fn assert_traces_replay_identically(a: &L2Trace, b: &L2Trace) {
+    let mut l2_a = Cache::new(paper_geom(), PolicyKind::Lru, SEED);
+    let mut l2_b = Cache::new(paper_geom(), PolicyKind::Lru, SEED);
+    let stats_a = replay_l2(a, &mut l2_a);
+    let stats_b = replay_l2(b, &mut l2_b);
+    assert_eq!(stats_a, stats_b, "replayed FunctionalStats diverge");
+    assert_eq!(l2_a.stats(), l2_b.stats(), "replayed CacheStats diverge");
+    assert_eq!(a.total_ticks(), b.total_ticks());
+    assert_eq!(
+        a.schedule().collect::<Vec<_>>(),
+        b.schedule().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn real_capture_round_trips_through_disk() {
+    let dir = tmp_dir("real");
+    let path = dir.join("capture.acrs");
+    let trace = real_capture();
+    let io = StdIo;
+    let written = save_trace(&io, &path, &trace, 42).unwrap();
+    assert_eq!(written, std::fs::metadata(&path).unwrap().len() as usize);
+    let loaded = load_trace(&io, &path, 42).unwrap();
+    assert_eq!(
+        loaded.events().collect::<Vec<_>>(),
+        trace.events().collect::<Vec<_>>()
+    );
+    assert_eq!(loaded.front_stats(), trace.front_stats());
+    assert_traces_replay_identically(&trace, &loaded);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_single_bit_flip_is_detected() {
+    // A compact capture keeps the sweep exhaustive yet fast: every byte
+    // of the file, every bit of the byte.
+    let cfg = CpuConfig::paper_default();
+    let stream = (0..2_000u64).map(|i| {
+        Inst::free(
+            0x40_0000 + (i % 64) * 4,
+            InstKind::Load {
+                addr: (i.wrapping_mul(31) % 512) * 64,
+            },
+        )
+    });
+    let trace = capture_functional(&cfg, stream, 2_000);
+    let bytes = encode_trace(&trace, 7);
+    assert!(decode_trace(&bytes, 7).is_ok(), "pristine file must decode");
+    let baseline: Vec<_> = trace.events().collect();
+    let mut detected = 0usize;
+    for pos in 0..bytes.len() {
+        for bit in 0..8u8 {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 1 << bit;
+            match decode_trace(&mutated, 7) {
+                Err(_) => detected += 1,
+                Ok(t) => panic!(
+                    "flip of bit {bit} at byte {pos}/{} decoded silently \
+                     (events equal: {})",
+                    bytes.len(),
+                    t.events().collect::<Vec<_>>() == baseline
+                ),
+            }
+        }
+    }
+    assert_eq!(detected, bytes.len() * 8);
+}
+
+#[test]
+fn every_seeded_fault_plan_fails_loudly_or_round_trips() {
+    let dir = tmp_dir("seeded");
+    let trace = real_capture();
+    let reference: Vec<_> = trace.events().collect();
+    let mut injected_total = 0u64;
+    for seed in 0..200u64 {
+        let path = dir.join(format!("s{seed}.acrs"));
+        let io = FaultyIo::new(IoFaultPlan::from_seed(seed));
+        // One fault somewhere in save → load. Whatever happens, the only
+        // acceptable outcomes are an error or the exact original trace.
+        let outcome =
+            save_trace(&io, &path, &trace, seed).and_then(|_| load_trace(&io, &path, seed));
+        match outcome {
+            Ok(loaded) => {
+                assert_eq!(
+                    loaded.events().collect::<Vec<_>>(),
+                    reference,
+                    "seed {seed}: fault produced a DIFFERENT decodable trace"
+                );
+                assert_eq!(loaded.front_stats(), trace.front_stats(), "seed {seed}");
+            }
+            Err(e) => {
+                // Loud failure is fine — that is the recapture path. The
+                // error must be typed, not a panic.
+                let _ = e.to_string();
+            }
+        }
+        injected_total += io.injected();
+    }
+    assert!(
+        injected_total >= 200,
+        "only {injected_total} faults fired across 200 seeded plans"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary builder-produced traces survive encode → decode with
+    /// every event, stat and schedule intact, and replay identically.
+    #[test]
+    fn arbitrary_traces_round_trip_bit_identically(
+        raw in proptest::collection::vec((any::<u64>(), any::<bool>(), 0u64..5_000), 0..400),
+        total_ticks in 0u64..1_000_000,
+        window in 1u64..(1 << 20),
+        fingerprint in any::<u64>(),
+    ) {
+        let mut events: Vec<(u64, bool, u64)> = raw;
+        events.sort_by_key(|&(_, _, inst)| inst);
+        let mut b = L2TraceBuilder::new();
+        for &(addr, wb, inst) in &events {
+            b.push(addr, wb, inst);
+        }
+        let front = FunctionalStats {
+            instructions: events.len() as u64,
+            data_accesses: total_ticks / 2,
+            inst_fetches: total_ticks - total_ticks / 2,
+            ..FunctionalStats::default()
+        };
+        let trace = b.finish(front, total_ticks, window);
+        let bytes = encode_trace(&trace, fingerprint);
+        let back = decode_trace(&bytes, fingerprint).expect("clean bytes decode");
+        let orig: Vec<_> = trace.events().collect();
+        let round: Vec<_> = back.events().collect();
+        prop_assert_eq!(round, orig);
+        prop_assert_eq!(back.front_stats(), trace.front_stats());
+        prop_assert_eq!(back.total_ticks(), trace.total_ticks());
+        prop_assert_eq!(
+            back.schedule().collect::<Vec<_>>(),
+            trace.schedule().collect::<Vec<_>>()
+        );
+        // Same bytes again: encoding is deterministic.
+        prop_assert_eq!(encode_trace(&back, fingerprint), bytes);
+    }
+}

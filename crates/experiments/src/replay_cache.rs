@@ -8,14 +8,31 @@
 //! an in-flight capture block on that key's latch only, so unrelated
 //! cells (other benchmarks, other budgets) are never serialised.
 //!
+//! The cache is two-tier. The in-memory tier above is always on (when
+//! `AC_REPLAY` is); setting `AC_REPLAY_DIR` adds a persistent tier (see
+//! [`crate::replay_store`]): a memory miss first tries to load the
+//! capture from disk, and a live capture is persisted for the next
+//! process. Disk entries are integrity-checked end to end — anything
+//! that does not decode cleanly is deleted and recaptured, never
+//! replayed.
+//!
 //! * `AC_REPLAY=0` opts out (cells run the front-end directly);
 //! * `AC_REPLAY_CACHE_MB` caps resident captured bytes (default 512MB),
-//!   evicting least-recently-used entries past the cap.
+//!   evicting least-recently-used entries past the cap;
+//! * `AC_REPLAY_DIR` locates the disk tier (unset/empty: memory only).
+//!
+//! **Convention:** every `AC_*` variable in this module (and in
+//! `replay_store`) is re-read on each call, never latched in a
+//! `OnceLock` — a single process, and in particular a single test
+//! binary, must be able to flip replay behaviour between sweeps. Cache
+//! derived *state*, not environment *configuration*.
 //!
 //! Telemetry: `replay_cache_hits_total` / `replay_cache_captures_total`
 //! / `replay_cache_evictions_total` counters and a `replay_cache_bytes`
-//! gauge.
+//! gauge, plus the disk tier's `replay_store_*` family
+//! (`disk_hits`/`writes`/`corrupt_entries`/`recaptures`).
 
+use crate::replay_store;
 use cpu_model::{capture_functional, CpuConfig, L2Trace};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -29,19 +46,17 @@ pub fn replay_enabled() -> bool {
 }
 
 /// Resident-byte cap for captured traces (`AC_REPLAY_CACHE_MB`,
-/// default 512).
+/// default 512). Read per call, like every other knob here — see the
+/// module header.
 fn cap_bytes() -> usize {
-    static CAP: OnceLock<usize> = OnceLock::new();
-    *CAP.get_or_init(|| {
-        let mb = match std::env::var("AC_REPLAY_CACHE_MB") {
-            Ok(v) => v.trim().parse().unwrap_or_else(|_| {
-                ac_telemetry::warn!("AC_REPLAY_CACHE_MB={v:?} is not a number; using 512");
-                512
-            }),
-            Err(_) => 512usize,
-        };
-        mb.saturating_mul(1024 * 1024)
-    })
+    let mb = match std::env::var("AC_REPLAY_CACHE_MB") {
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            ac_telemetry::warn!("AC_REPLAY_CACHE_MB={v:?} is not a number; using 512");
+            512
+        }),
+        Err(_) => 512usize,
+    };
+    mb.saturating_mul(1024 * 1024)
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -173,7 +188,7 @@ pub fn get_or_capture(bench: &Benchmark, config: &CpuConfig, insts: u64) -> (Arc
                     let latch = Arc::new(Latch::default());
                     s.map.insert(key.clone(), Slot::InFlight(latch.clone()));
                     drop(s);
-                    return (capture_and_publish(bench, config, insts, key, latch), true);
+                    return capture_and_publish(bench, config, insts, key, latch);
                 }
             }
         };
@@ -195,19 +210,55 @@ pub fn get_or_capture(bench: &Benchmark, config: &CpuConfig, insts: u64) -> (Arc
     }
 }
 
+/// Fills a registered `InFlight` slot: memory miss → try the disk tier
+/// (under its per-entry lock) → capture live. Returns the trace and
+/// whether *this* call ran the front-end. Disk loads count as
+/// `replay_store_disk_hits_total`, not captures; a corrupt entry or a
+/// lock timeout counts one `replay_store_recaptures_total` on top of
+/// the capture it forces.
 fn capture_and_publish(
     bench: &Benchmark,
     config: &CpuConfig,
     insts: u64,
     key: Key,
     latch: Arc<Latch>,
-) -> Arc<L2Trace> {
+) -> (Arc<L2Trace>, bool) {
     let mut guard = CaptureGuard {
         key: Some(key.clone()),
         latch: latch.clone(),
     };
+    let tier = replay_store::open(&key.benchmark, key.l1_sig, key.insts);
+    if let replay_store::Tier::Ready(handle) = &tier {
+        match handle.load() {
+            replay_store::Loaded::Hit(trace) => {
+                let trace = Arc::new(*trace);
+                guard.defuse();
+                publish(key, latch, trace.clone());
+                return (trace, false);
+            }
+            replay_store::Loaded::Miss => {}
+            replay_store::Loaded::Failed => {
+                ac_telemetry::counter_add("replay_store_recaptures_total", 1);
+            }
+        }
+    }
+    if matches!(tier, replay_store::Tier::LockTimeout) {
+        ac_telemetry::counter_add("replay_store_recaptures_total", 1);
+    }
     let trace = Arc::new(capture_functional(config, bench.spec.generator(), insts));
     guard.defuse();
+    if let replay_store::Tier::Ready(handle) = &tier {
+        handle.save(&trace);
+    }
+    drop(tier); // releases the per-entry lock file
+    ac_telemetry::counter_add("replay_cache_captures_total", 1);
+    publish(key, latch, trace.clone());
+    (trace, true)
+}
+
+/// Publishes a ready trace into the in-memory tier, wakes the key's
+/// waiters, and runs the LRU eviction loop.
+fn publish(key: Key, latch: Arc<Latch>, trace: Arc<L2Trace>) {
     let bytes = trace.approx_bytes();
     let mut s = store().lock().expect("replay cache poisoned");
     s.clock += 1;
@@ -245,14 +296,12 @@ fn capture_and_publish(
     }
     let resident = s.bytes;
     drop(s);
-    *latch.state.lock().expect("latch poisoned") = LatchState::Ready(trace.clone());
+    *latch.state.lock().expect("latch poisoned") = LatchState::Ready(trace);
     latch.cv.notify_all();
-    ac_telemetry::counter_add("replay_cache_captures_total", 1);
     if evictions > 0 {
         ac_telemetry::counter_add("replay_cache_evictions_total", evictions);
     }
     gauge_bytes(resident);
-    trace
 }
 
 #[cfg(test)]

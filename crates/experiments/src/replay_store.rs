@@ -1,0 +1,455 @@
+//! The on-disk tier of the replay cache: persisted [`L2Trace`] captures
+//! under `AC_REPLAY_DIR`, in the crash-safe ACRS format of
+//! `cpu_model::replay::persist`.
+//!
+//! Entries are named
+//! `{benchmark}-{l1_sig:016x}-{insts}-{fingerprint:016x}.acrs`, where
+//! the fingerprint mixes the ACRS format revision, the telemetry
+//! timeline window the capture was scheduled for, **and** the key
+//! itself — so a file renamed (or copied) over another entry's path
+//! passes its checksums but fails the fingerprint check instead of
+//! replaying the wrong trace.
+//!
+//! Cross-process safety comes from per-entry `*.lock` files taken
+//! around the load-or-capture-and-save critical section, with a polled
+//! timeout and stale-lock stealing (a crashed writer's lock is reclaimed
+//! once its mtime exceeds the staleness horizon). On lock timeout the
+//! caller captures live without touching the entry — correctness never
+//! depends on winning the lock, only on never reading a file someone is
+//! mid-rename on a non-atomic filesystem.
+//!
+//! Every failure degrades to recapture: a missing directory, an
+//! unreadable file, bad magic, version or fingerprint skew, a CRC
+//! mismatch, or a short read logs a warn, deletes the bad entry, and
+//! reports a miss. No path returns a trace that did not decode cleanly.
+//!
+//! All entry I/O goes through the [`ReplayIo`] trait so the
+//! fault-injection suite (and `AC_REPLAY_FAULT=torn_write=…`,
+//! `enospc`, `eio`, `short_read=…`, `bit_flip=OFF:MASK`, `seed=…`) can
+//! interpose deterministic faults; see [`set_io`].
+//!
+//! Per the `replay_cache` convention, every environment variable here is
+//! re-read on each call — nothing is latched in a `OnceLock` — except
+//! the `AC_REPLAY_FAULT` plan, which must persist across calls so each
+//! armed fault fires exactly once (call [`set_io`]`(None)` to re-arm).
+//!
+//! Telemetry: `replay_store_disk_hits_total`, `replay_store_writes_total`,
+//! `replay_store_corrupt_entries_total`, `replay_store_recaptures_total`.
+
+use cpu_model::replay::persist::{self, FaultyIo, IoFaultPlan, PersistError, ReplayIo, StdIo};
+use cpu_model::L2Trace;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime};
+
+/// File extension of a persisted capture.
+pub const ENTRY_EXT: &str = "acrs";
+
+/// The store directory, re-read from `AC_REPLAY_DIR` on every call
+/// (empty or unset disables the disk tier).
+pub fn dir() -> Option<PathBuf> {
+    match std::env::var("AC_REPLAY_DIR") {
+        Ok(v) if !v.trim().is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
+fn env_ms(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            ac_telemetry::warn!("{name}={v:?} is not a number; using {default}");
+            default
+        }),
+        Err(_) => default,
+    }
+}
+
+/// How long to wait for another process's per-entry lock before giving
+/// up and capturing live (`AC_REPLAY_LOCK_TIMEOUT_MS`, default 2000).
+fn lock_timeout() -> Duration {
+    Duration::from_millis(env_ms("AC_REPLAY_LOCK_TIMEOUT_MS", 2_000))
+}
+
+/// Age past which a lock file is presumed orphaned by a crashed writer
+/// and stolen (`AC_REPLAY_LOCK_STALE_MS`, default 30000).
+fn lock_stale() -> Duration {
+    Duration::from_millis(env_ms("AC_REPLAY_LOCK_STALE_MS", 30_000))
+}
+
+fn io_slot() -> &'static Mutex<Option<Arc<dyn ReplayIo>>> {
+    static IO: OnceLock<Mutex<Option<Arc<dyn ReplayIo>>>> = OnceLock::new();
+    IO.get_or_init(Mutex::default)
+}
+
+/// The [`ReplayIo`] implementation entry I/O runs through. Defaults to
+/// the real filesystem, or a [`FaultyIo`] when `AC_REPLAY_FAULT` holds a
+/// parseable fault plan. The chosen instance is held (not re-built per
+/// call) so once-firing faults stay fired.
+pub fn io() -> Arc<dyn ReplayIo> {
+    let mut slot = io_slot().lock().expect("replay store io poisoned");
+    if let Some(io) = slot.as_ref() {
+        return io.clone();
+    }
+    let io: Arc<dyn ReplayIo> = match std::env::var("AC_REPLAY_FAULT") {
+        Ok(spec) if !spec.trim().is_empty() => match IoFaultPlan::parse(&spec) {
+            Ok(plan) => {
+                ac_telemetry::warn!("AC_REPLAY_FAULT armed: {plan:?}");
+                Arc::new(FaultyIo::new(plan))
+            }
+            Err(e) => {
+                ac_telemetry::warn!("AC_REPLAY_FAULT={spec:?} did not parse ({e}); ignoring");
+                Arc::new(StdIo)
+            }
+        },
+        _ => Arc::new(StdIo),
+    };
+    *slot = Some(io.clone());
+    io
+}
+
+/// Replaces the store's [`ReplayIo`] (tests inject faults here without
+/// the environment); `None` resets to re-reading `AC_REPLAY_FAULT`.
+pub fn set_io(io: Option<Arc<dyn ReplayIo>>) {
+    *io_slot().lock().expect("replay store io poisoned") = io;
+}
+
+fn fnv_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The fingerprint stored inside (and suffixed onto the name of) an
+/// entry: format + capture-window fingerprint mixed with the key, so
+/// neither configuration skew nor a renamed file can replay wrongly.
+pub fn entry_fingerprint(benchmark: &str, l1_sig: u64, insts: u64) -> u64 {
+    persist::fnv(&[
+        persist::config_fingerprint(),
+        fnv_str(benchmark),
+        l1_sig,
+        insts,
+    ])
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Path of the entry for a key under `dir`.
+pub fn entry_path(dir: &Path, benchmark: &str, l1_sig: u64, insts: u64) -> PathBuf {
+    let fp = entry_fingerprint(benchmark, l1_sig, insts);
+    dir.join(format!(
+        "{}-{l1_sig:016x}-{insts}-{fp:016x}.{ENTRY_EXT}",
+        sanitize(benchmark)
+    ))
+}
+
+/// A held per-entry lock file; removed on drop.
+#[derive(Debug)]
+struct LockFile {
+    path: PathBuf,
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn try_lock(lock_path: &Path) -> io::Result<Option<LockFile>> {
+    match std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(lock_path)
+    {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{}", std::process::id());
+            Ok(Some(LockFile {
+                path: lock_path.to_path_buf(),
+            }))
+        }
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn lock_age(lock_path: &Path) -> Option<Duration> {
+    let mtime = std::fs::metadata(lock_path).ok()?.modified().ok()?;
+    SystemTime::now().duration_since(mtime).ok()
+}
+
+/// Outcome of [`open`]: whether the disk tier participates in this
+/// capture at all, and under what protection.
+#[derive(Debug)]
+pub enum Tier {
+    /// `AC_REPLAY_DIR` unset (or the directory could not be created):
+    /// in-memory caching only.
+    Disabled,
+    /// Lock held — load, and persist a fresh capture, through the
+    /// handle.
+    Ready(Handle),
+    /// Another process held the entry lock past the timeout: capture
+    /// live, do not read or write the entry.
+    LockTimeout,
+}
+
+/// A locked disk-store entry.
+#[derive(Debug)]
+pub struct Handle {
+    path: PathBuf,
+    fingerprint: u64,
+    _lock: LockFile,
+}
+
+/// What a [`Handle::load`] found.
+#[derive(Debug)]
+pub enum Loaded {
+    /// Entry decoded and validated cleanly.
+    Hit(Box<L2Trace>),
+    /// No entry on disk.
+    Miss,
+    /// Entry (or the I/O under it) was bad; it has been deleted and the
+    /// failure logged + counted. Caller captures live.
+    Failed,
+}
+
+/// Opens (and locks) the disk-store entry for a key, if the tier is
+/// enabled. Lock-acquisition polling stays under [`lock_timeout`],
+/// stealing locks older than [`lock_stale`].
+pub fn open(benchmark: &str, l1_sig: u64, insts: u64) -> Tier {
+    let Some(dir) = dir() else {
+        return Tier::Disabled;
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        ac_telemetry::warn!(
+            "replay store: cannot create AC_REPLAY_DIR {}: {e}; disk tier off",
+            dir.display()
+        );
+        return Tier::Disabled;
+    }
+    let path = entry_path(&dir, benchmark, l1_sig, insts);
+    let mut lock_path = path.clone().into_os_string();
+    lock_path.push(".lock");
+    let lock_path = PathBuf::from(lock_path);
+    let deadline = Instant::now() + lock_timeout();
+    let stale = lock_stale();
+    loop {
+        match try_lock(&lock_path) {
+            Ok(Some(lock)) => {
+                return Tier::Ready(Handle {
+                    fingerprint: entry_fingerprint(benchmark, l1_sig, insts),
+                    path,
+                    _lock: lock,
+                });
+            }
+            Ok(None) => {
+                if lock_age(&lock_path).is_some_and(|age| age > stale) {
+                    ac_telemetry::warn!(
+                        "replay store: stealing stale lock {} (older than {stale:?})",
+                        lock_path.display()
+                    );
+                    let _ = std::fs::remove_file(&lock_path);
+                    continue;
+                }
+                if Instant::now() >= deadline {
+                    ac_telemetry::warn!(
+                        "replay store: timed out waiting for {}; capturing live",
+                        lock_path.display()
+                    );
+                    return Tier::LockTimeout;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                ac_telemetry::warn!(
+                    "replay store: cannot take lock {}: {e}; capturing live",
+                    lock_path.display()
+                );
+                return Tier::LockTimeout;
+            }
+        }
+    }
+}
+
+impl Handle {
+    /// Loads and validates the locked entry. Anything short of a clean
+    /// decode deletes the entry and reports [`Loaded::Failed`] — a
+    /// corrupt file is never a reason to fail the run, only to recapture.
+    pub fn load(&self) -> Loaded {
+        let io = io();
+        let bytes = match io.read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Loaded::Miss,
+            Err(e) => {
+                ac_telemetry::warn!(
+                    "replay store: read of {} failed ({e}); deleting and recapturing",
+                    self.path.display()
+                );
+                self.discard(&*io);
+                return Loaded::Failed;
+            }
+        };
+        match persist::decode_trace(&bytes, self.fingerprint) {
+            Ok(trace) => {
+                ac_telemetry::counter_add("replay_store_disk_hits_total", 1);
+                Loaded::Hit(Box::new(trace))
+            }
+            Err(e) => {
+                ac_telemetry::warn!(
+                    "replay store: {} is unusable ({e}); deleting and recapturing",
+                    self.path.display()
+                );
+                self.discard(&*io);
+                Loaded::Failed
+            }
+        }
+    }
+
+    /// Persists a fresh capture under the held lock. Write failures are
+    /// logged and swallowed — the store is a cache, and `ENOSPC` must
+    /// never fail a sweep.
+    pub fn save(&self, trace: &L2Trace) {
+        match persist::save_trace(&*io(), &self.path, trace, self.fingerprint) {
+            Ok(_) => ac_telemetry::counter_add("replay_store_writes_total", 1),
+            Err(e) => ac_telemetry::warn!(
+                "replay store: persisting {} failed ({e}); entry stays absent",
+                self.path.display()
+            ),
+        }
+    }
+
+    fn discard(&self, io: &dyn ReplayIo) {
+        ac_telemetry::counter_add("replay_store_corrupt_entries_total", 1);
+        if let Err(e) = io.remove(&self.path) {
+            ac_telemetry::warn!(
+                "replay store: could not delete bad entry {}: {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+/// One entry found by [`scan`].
+#[derive(Debug, Clone)]
+pub struct EntryInfo {
+    /// Entry file path.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Fingerprint parsed from the file name (`None`: foreign name).
+    pub fingerprint: Option<u64>,
+}
+
+/// Lists the `.acrs` entries of a store directory, sorted by name.
+pub fn scan(dir: &Path) -> io::Result<Vec<EntryInfo>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(ENTRY_EXT) {
+            continue;
+        }
+        let bytes = entry.metadata()?.len();
+        out.push(EntryInfo {
+            fingerprint: name_fingerprint(&path),
+            path,
+            bytes,
+        });
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+/// Parses the `-{fingerprint:016x}.acrs` suffix off an entry name.
+fn name_fingerprint(path: &Path) -> Option<u64> {
+    let stem = path.file_stem()?.to_str()?;
+    let hex = stem.rsplit('-').next()?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// One entry's verification verdict: decoded event count, or why not.
+#[derive(Debug)]
+pub struct Verified {
+    /// The entry checked.
+    pub info: EntryInfo,
+    /// `Ok(events)` if the entry decodes cleanly against the
+    /// fingerprint in its own name; the failure text otherwise.
+    pub result: Result<usize, String>,
+}
+
+/// Integrity-checks every entry in a store directory (against the
+/// fingerprint each file's *name* claims, so entries written under
+/// other configurations still verify). Read-only: bad entries are
+/// reported, not deleted — that is [`Handle::load`]'s (or `gc`'s) job.
+pub fn verify_dir(dir: &Path) -> io::Result<Vec<Verified>> {
+    let io = io();
+    scan(dir)?
+        .into_iter()
+        .map(|info| {
+            let result = match info.fingerprint {
+                None => Err("file name lacks a fingerprint suffix".to_string()),
+                Some(fp) => match io
+                    .read(&info.path)
+                    .map_err(PersistError::Io)
+                    .and_then(|bytes| persist::decode_trace(&bytes, fp))
+                {
+                    Ok(trace) => Ok(trace.len()),
+                    Err(e) => Err(e.to_string()),
+                },
+            };
+            Ok(Verified { info, result })
+        })
+        .collect()
+}
+
+/// What [`gc_dir`] removed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct GcStats {
+    /// Orphaned `*.tmp.*` files from interrupted writers.
+    pub tmp_files: usize,
+    /// Lock files older than the staleness horizon.
+    pub stale_locks: usize,
+    /// Entries that failed verification.
+    pub corrupt_entries: usize,
+}
+
+/// Sweeps a store directory: deletes leftover temp files, stale locks,
+/// and entries that no longer verify. Live locks (younger than
+/// [`lock_stale`]) are left alone.
+pub fn gc_dir(dir: &Path) -> io::Result<GcStats> {
+    let mut stats = GcStats::default();
+    let stale = lock_stale();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.contains(".tmp.") {
+            std::fs::remove_file(&path)?;
+            stats.tmp_files += 1;
+        } else if name.ends_with(".lock") && lock_age(&path).is_some_and(|age| age > stale) {
+            std::fs::remove_file(&path)?;
+            stats.stale_locks += 1;
+        }
+    }
+    for v in verify_dir(dir)? {
+        if v.result.is_err() {
+            std::fs::remove_file(&v.info.path)?;
+            stats.corrupt_entries += 1;
+        }
+    }
+    Ok(stats)
+}

@@ -7,6 +7,132 @@
 //! deltas and a bit vector — pack such a stream into a few bytes per
 //! event, structure-of-arrays style, so a whole suite of captured
 //! streams fits comfortably in a process-wide cache.
+//!
+//! For streams that leave the process (the on-disk replay store, the
+//! `.actr` trace format) the module also provides **checksummed
+//! framing**: [`crc32`] (IEEE, the zlib/PNG polynomial) and
+//! [`write_frame`]/[`read_frame`], a `length ‖ crc32 ‖ payload` section
+//! container whose reader validates the declared length against the
+//! available input *before* touching the payload and the checksum before
+//! handing it out — a torn write, truncation or bit flip surfaces as a
+//! typed [`FrameError`], never as silently-wrong decoded data.
+
+/// The IEEE CRC-32 lookup table (reflected polynomial `0xEDB88320`),
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 (the zlib/PNG/gzip checksum) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0, bytes)
+}
+
+/// Continues an IEEE CRC-32 computation: `crc32_update(crc32(a), b) ==
+/// crc32(a ‖ b)`. Feed `0` to start.
+pub fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Why a checksummed frame could not be read. Every variant means the
+/// input cannot be trusted; none of them yields partial payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The input ended before the 12-byte frame header.
+    TruncatedHeader,
+    /// The header declares more payload than the input holds (torn
+    /// write, truncation, or a hostile length — rejected before any
+    /// allocation or payload access).
+    TruncatedPayload {
+        /// Payload bytes the header declares.
+        declared: u64,
+        /// Payload bytes actually available.
+        available: u64,
+    },
+    /// The payload does not match its recorded checksum.
+    Checksum {
+        /// CRC recorded in the frame header.
+        expected: u32,
+        /// CRC of the payload as read.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TruncatedHeader => write!(f, "input ends inside a frame header"),
+            FrameError::TruncatedPayload {
+                declared,
+                available,
+            } => write!(
+                f,
+                "frame declares {declared} payload bytes but only {available} are available"
+            ),
+            FrameError::Checksum { expected, actual } => write!(
+                f,
+                "frame checksum mismatch (recorded {expected:#010x}, computed {actual:#010x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Appends one checksummed frame — `u64 payload-length ‖ u32 crc32 ‖
+/// payload`, little-endian — to `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Reads one checksummed frame from `bytes` at `*pos`, advancing `*pos`
+/// past it. The declared length is validated against the remaining input
+/// before the payload is touched and the checksum before it is returned,
+/// so corrupt input can never yield payload bytes.
+pub fn read_frame<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], FrameError> {
+    let header = bytes
+        .get(*pos..*pos + 12)
+        .ok_or(FrameError::TruncatedHeader)?;
+    let declared = u64::from_le_bytes(header[..8].try_into().expect("12-byte slice"));
+    let expected = u32::from_le_bytes(header[8..12].try_into().expect("12-byte slice"));
+    let available = (bytes.len() - (*pos + 12)) as u64;
+    if declared > available {
+        return Err(FrameError::TruncatedPayload {
+            declared,
+            available,
+        });
+    }
+    let start = *pos + 12;
+    let payload = &bytes[start..start + declared as usize];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(FrameError::Checksum { expected, actual });
+    }
+    *pos = start + declared as usize;
+    Ok(payload)
+}
 
 /// Appends `v` to `out` as an unsigned LEB128 varint (1–10 bytes).
 pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
@@ -101,6 +227,35 @@ impl DeltaSeq {
             remaining: self.len,
         }
     }
+
+    /// The packed delta bytes (for persisting the sequence).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The last value pushed (0 for an empty sequence) — persisted next
+    /// to the bytes so a reconstructed sequence can be cross-checked.
+    pub fn final_value(&self) -> u64 {
+        self.prev
+    }
+
+    /// Rebuilds a sequence from persisted parts, validating that `bytes`
+    /// decodes to exactly `len` values whose last is `final_value` (and
+    /// with no trailing garbage). Returns `None` on any inconsistency —
+    /// a checksum-passing but internally contradictory section is still
+    /// rejected.
+    pub fn from_parts(bytes: Vec<u8>, len: usize, final_value: u64) -> Option<DeltaSeq> {
+        let mut pos = 0usize;
+        let mut prev = 0u64;
+        for _ in 0..len {
+            let raw = read_uvarint(&bytes, &mut pos)?;
+            prev = prev.wrapping_add(unzigzag(raw) as u64);
+        }
+        if pos != bytes.len() || prev != final_value {
+            return None;
+        }
+        Some(DeltaSeq { bytes, len, prev })
+    }
 }
 
 /// Decoding iterator over a [`DeltaSeq`].
@@ -184,6 +339,28 @@ impl BitSeq {
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| self.bytes[i / 8] & (1 << (i % 8)) != 0)
     }
+
+    /// The packed flag bytes (for persisting the sequence).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuilds a bit sequence from persisted parts, validating the byte
+    /// length against `len` and that the padding bits of the final byte
+    /// are zero (as the writer always leaves them). Returns `None` on
+    /// any inconsistency.
+    pub fn from_parts(bytes: Vec<u8>, len: usize) -> Option<BitSeq> {
+        if bytes.len() != len.div_ceil(8) {
+            return None;
+        }
+        if !len.is_multiple_of(8) {
+            let padding = bytes.last().copied().unwrap_or(0) >> (len % 8);
+            if padding != 0 {
+                return None;
+            }
+        }
+        Some(BitSeq { bytes, len })
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +418,100 @@ mod tests {
         // the first.
         assert!(seq.byte_len() <= 2 * 10_000 + 8, "{}", seq.byte_len());
         assert_eq!(seq.iter().nth(9_999), Some(0x40_0000 + 9_999 * 64));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Incremental == one-shot.
+        assert_eq!(crc32_update(crc32(b"1234"), b"56789"), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"hello");
+        write_frame(&mut out, b"");
+        write_frame(&mut out, &[0xFFu8; 300]);
+        let mut pos = 0;
+        assert_eq!(read_frame(&out, &mut pos).unwrap(), b"hello");
+        assert_eq!(read_frame(&out, &mut pos).unwrap(), b"");
+        assert_eq!(read_frame(&out, &mut pos).unwrap(), &[0xFFu8; 300][..]);
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn frame_rejects_truncation_and_corruption() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"payload");
+        // Header cut.
+        let mut pos = 0;
+        assert_eq!(
+            read_frame(&out[..6], &mut pos),
+            Err(FrameError::TruncatedHeader)
+        );
+        // Payload cut (torn write): rejected from the length alone.
+        let mut pos = 0;
+        assert!(matches!(
+            read_frame(&out[..out.len() - 2], &mut pos),
+            Err(FrameError::TruncatedPayload { declared: 7, .. })
+        ));
+        // A hostile length never reads past the input.
+        let mut hostile = out.clone();
+        hostile[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut pos = 0;
+        assert!(matches!(
+            read_frame(&hostile, &mut pos),
+            Err(FrameError::TruncatedPayload { .. })
+        ));
+        // Every single-byte flip anywhere in the frame is detected.
+        for i in 0..out.len() {
+            let mut bad = out.clone();
+            bad[i] ^= 0x10;
+            let mut pos = 0;
+            assert!(read_frame(&bad, &mut pos).is_err(), "flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn delta_seq_parts_round_trip_and_validate() {
+        let mut seq = DeltaSeq::new();
+        for v in [5u64, 3, 1000, u64::MAX, 7] {
+            seq.push(v);
+        }
+        let rebuilt = DeltaSeq::from_parts(seq.as_bytes().to_vec(), seq.len(), seq.final_value())
+            .expect("faithful parts reconstruct");
+        assert_eq!(rebuilt, seq);
+        // Wrong count, wrong final value, trailing garbage: all rejected.
+        assert!(DeltaSeq::from_parts(seq.as_bytes().to_vec(), seq.len() - 1, 7).is_none());
+        assert!(DeltaSeq::from_parts(seq.as_bytes().to_vec(), seq.len(), 8).is_none());
+        let mut padded = seq.as_bytes().to_vec();
+        padded.push(0);
+        assert!(DeltaSeq::from_parts(padded, seq.len(), 7).is_none());
+        // Truncated bytes cannot decode the declared count.
+        let cut = seq.as_bytes()[..seq.byte_len() - 1].to_vec();
+        assert!(DeltaSeq::from_parts(cut, seq.len(), 7).is_none());
+    }
+
+    #[test]
+    fn bit_seq_parts_round_trip_and_validate() {
+        let mut bits = BitSeq::new();
+        for i in 0..11 {
+            bits.push(i % 2 == 0);
+        }
+        let rebuilt =
+            BitSeq::from_parts(bits.as_bytes().to_vec(), bits.len()).expect("faithful parts");
+        assert_eq!(rebuilt, bits);
+        assert!(
+            BitSeq::from_parts(bits.as_bytes().to_vec(), 20).is_none(),
+            "wrong byte length"
+        );
+        let mut dirty = bits.as_bytes().to_vec();
+        *dirty.last_mut().unwrap() |= 0x80; // padding bit set
+        assert!(BitSeq::from_parts(dirty, bits.len()).is_none());
+        assert!(BitSeq::from_parts(Vec::new(), 0).is_some());
     }
 
     #[test]

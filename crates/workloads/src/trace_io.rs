@@ -16,21 +16,28 @@
 //! ```
 //!
 //! Memory and branch instructions carry the extra word; plain compute
-//! records are 12 bytes.
+//! records are 12 bytes. Version 3 appends a trailing CRC-32 (IEEE, see
+//! [`crate::packed::crc32`]) over everything that precedes it — header,
+//! count and records — so any corruption of a stored trace is detected
+//! instead of decoding into plausible-but-wrong instructions.
 //!
-//! The reader treats input as hostile: the declared record count is
+//! The reader treats input as hostile: the checksum is verified before
+//! records are decoded (version 3), the declared record count is
 //! validated against the actual input size before anything is
-//! pre-allocated (a corrupt header cannot trigger an OOM), version-1
-//! traces (no count) remain readable, and truncation mid-record is a
-//! typed [`TraceError::Truncated`] rather than a bare I/O error.
+//! pre-allocated (a corrupt header cannot trigger an OOM), version-1/-2
+//! traces remain readable, and truncation mid-record is a typed
+//! [`TraceError::Truncated`] rather than a bare I/O error.
 
 use crate::inst::{Inst, InstKind};
+use crate::packed::crc32;
 use std::fmt;
 use std::io::{self, BufRead, Read, Write};
 
 const MAGIC: &[u8; 4] = b"ACTR";
-/// Current write version (header carries a record count).
-const VERSION: u8 = 2;
+/// Current write version (count header + trailing CRC-32).
+const VERSION: u8 = 3;
+/// Legacy version: count header, no checksum.
+const VERSION_COUNT: u8 = 2;
 /// Legacy version: records until EOF, no declared count.
 const VERSION_NO_COUNT: u8 = 1;
 /// Smallest possible record (compute instruction, no extra word).
@@ -72,6 +79,14 @@ pub enum TraceError {
         /// Complete records successfully read before the cut.
         records: u64,
     },
+    /// The trailing CRC-32 does not match the content (version ≥ 3):
+    /// the trace was corrupted after it was written.
+    Checksum {
+        /// Checksum recorded in the trace.
+        expected: u32,
+        /// Checksum of the content as read.
+        actual: u32,
+    },
     /// Malformed text-format line.
     BadLine {
         /// 1-based line number.
@@ -98,6 +113,11 @@ impl fmt::Display for TraceError {
             TraceError::Truncated { records } => {
                 write!(f, "trace truncated after {records} complete records")
             }
+            TraceError::Checksum { expected, actual } => write!(
+                f,
+                "trace checksum mismatch (recorded {expected:#010x}, computed {actual:#010x}) \
+                 — the file was corrupted after it was written"
+            ),
             TraceError::BadLine { line, text } => {
                 write!(f, "malformed trace line {line}: {text:?}")
             }
@@ -120,19 +140,24 @@ impl From<io::Error> for TraceError {
     }
 }
 
-/// Writes instructions in the binary trace format (version 2: the header
-/// carries the record count, so readers can validate it up front).
+/// Writes instructions in the binary trace format (version 3: the header
+/// carries the record count, so readers can validate it up front, and a
+/// trailing CRC-32 over header + records detects any later corruption).
 pub fn write_binary<W: Write, I: IntoIterator<Item = Inst>>(
     mut w: W,
     insts: I,
 ) -> Result<u64, TraceError> {
-    // The count precedes the records, so buffer the body first.
-    let mut body = Vec::new();
-    let n = write_records(&mut body, insts)?;
-    w.write_all(MAGIC)?;
-    w.write_all(&[VERSION])?;
-    w.write_all(&n.to_le_bytes())?;
-    w.write_all(&body)?;
+    // The count precedes the records and the checksum covers everything,
+    // so assemble the whole document first.
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&[0u8; 8]); // count placeholder
+    let n = write_records(&mut out, insts)?;
+    out[5..13].copy_from_slice(&n.to_le_bytes());
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    w.write_all(&out)?;
     Ok(n)
 }
 
@@ -167,9 +192,12 @@ fn write_records<W: Write, I: IntoIterator<Item = Inst>>(
 
 /// Reads a complete binary trace (current and legacy versions).
 ///
-/// Version-2 headers declare a record count; it is validated against the
+/// Version-2+ headers declare a record count; it is validated against the
 /// actual remaining input size *before* pre-allocating, so a corrupt or
 /// hostile header yields [`TraceError::BadCount`] instead of an OOM/abort.
+/// Version-3 traces additionally carry a trailing CRC-32, verified before
+/// any record is decoded, and the decoded record count is cross-checked
+/// against the header's declaration.
 pub fn read_binary<R: Read>(r: R) -> Result<Vec<Inst>, TraceError> {
     let _span = ac_telemetry::span("trace", || "trace_decode".to_string());
     let out = read_binary_inner(r)?;
@@ -191,13 +219,29 @@ fn read_binary_inner<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceError> {
             r.read_to_end(&mut body)?;
             read_records(&body, None)
         }
-        VERSION => {
+        version @ (VERSION_COUNT | VERSION) => {
             let mut count_bytes = [0u8; 8];
             r.read_exact(&mut count_bytes)
                 .map_err(|_| TraceError::Truncated { records: 0 })?;
             let declared = u64::from_le_bytes(count_bytes);
             let mut body = Vec::new();
             r.read_to_end(&mut body)?;
+            if version == VERSION {
+                // Integrity first: the trailing CRC covers header, count
+                // and records, so no corrupt byte anywhere can survive
+                // into record decoding.
+                let Some(cut) = body.len().checked_sub(4) else {
+                    return Err(TraceError::Truncated { records: 0 });
+                };
+                let expected = u32::from_le_bytes(body[cut..].try_into().expect("4 bytes"));
+                let mut actual = crc32(&header);
+                actual = crate::packed::crc32_update(actual, &count_bytes);
+                actual = crate::packed::crc32_update(actual, &body[..cut]);
+                if actual != expected {
+                    return Err(TraceError::Checksum { expected, actual });
+                }
+                body.truncate(cut);
+            }
             let max_possible = body.len() as u64 / MIN_RECORD_BYTES;
             if declared > max_possible {
                 return Err(TraceError::BadCount {
@@ -237,11 +281,9 @@ fn read_records(body: &[u8], expected: Option<u64>) -> Result<Vec<Inst>, TraceEr
         pc_bytes.copy_from_slice(&head[4..12]);
         let pc = u64::from_le_bytes(pc_bytes);
         let mut read_extra = || -> Result<u64, TraceError> {
-            let word = body
-                .get(at..at + 8)
-                .ok_or(TraceError::Truncated {
-                    records: out.len() as u64,
-                })?;
+            let word = body.get(at..at + 8).ok_or(TraceError::Truncated {
+                records: out.len() as u64,
+            })?;
             at += 8;
             let mut b = [0u8; 8];
             b.copy_from_slice(word);
@@ -253,8 +295,12 @@ fn read_records(body: &[u8], expected: Option<u64>) -> Result<Vec<Inst>, TraceEr
             K_INT_DIV => InstKind::IntDiv,
             K_FP_ADD => InstKind::FpAdd,
             K_FP_DIV => InstKind::FpDiv,
-            K_LOAD => InstKind::Load { addr: read_extra()? },
-            K_STORE => InstKind::Store { addr: read_extra()? },
+            K_LOAD => InstKind::Load {
+                addr: read_extra()?,
+            },
+            K_STORE => InstKind::Store {
+                addr: read_extra()?,
+            },
             K_BRANCH => InstKind::Branch {
                 taken: flags & F_TAKEN != 0,
                 target: read_extra()?,
@@ -279,12 +325,16 @@ pub fn write_text<W: Write, I: IntoIterator<Item = Inst>>(
     let mut n = 0u64;
     for inst in insts {
         match inst.kind {
-            InstKind::Load { addr } => {
-                writeln!(w, "{:#x} ld {:#x} deps={},{}", inst.pc, addr, inst.deps[0], inst.deps[1])?
-            }
-            InstKind::Store { addr } => {
-                writeln!(w, "{:#x} st {:#x} deps={},{}", inst.pc, addr, inst.deps[0], inst.deps[1])?
-            }
+            InstKind::Load { addr } => writeln!(
+                w,
+                "{:#x} ld {:#x} deps={},{}",
+                inst.pc, addr, inst.deps[0], inst.deps[1]
+            )?,
+            InstKind::Store { addr } => writeln!(
+                w,
+                "{:#x} st {:#x} deps={},{}",
+                inst.pc, addr, inst.deps[0], inst.deps[1]
+            )?,
             InstKind::Branch { taken, target } => writeln!(
                 w,
                 "{:#x} br {:#x} {} deps={},{}",
@@ -400,10 +450,13 @@ mod tests {
     fn text_format_is_readable() {
         let trace = vec![
             Inst::free(0x400000, InstKind::Load { addr: 0x1000 }),
-            Inst::free(0x400004, InstKind::Branch {
-                taken: true,
-                target: 0x400000,
-            }),
+            Inst::free(
+                0x400004,
+                InstKind::Branch {
+                    taken: true,
+                    target: 0x400000,
+                },
+            ),
         ];
         let mut buf = Vec::new();
         write_text(&mut buf, trace).unwrap();
@@ -473,18 +526,66 @@ mod tests {
     }
 
     #[test]
-    fn truncated_body_reports_complete_records() {
+    fn truncated_body_reports_typed_error() {
         let trace = sample_trace(100);
         let mut buf = Vec::new();
         write_binary(&mut buf, trace.iter().copied()).unwrap();
-        // Cut the file mid-stream: parsing must fail with a typed
-        // truncation error, never a partial silently-OK result.
+        // Cut the file mid-stream: parsing must fail with a typed error
+        // (v3: the trailing checksum no longer lines up), never a
+        // partial silently-OK result.
         let cut = buf.len() - 7;
         let err = read_binary(&buf[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceError::Checksum { .. } | TraceError::Truncated { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn v2_truncated_body_reports_complete_records() {
+        // The pre-checksum reader path: truncation surfaces as a typed
+        // count of complete records.
+        let trace = sample_trace(100);
+        let mut body = Vec::new();
+        write_records(&mut body, trace.iter().copied()).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"ACTR\x02");
+        buf.extend_from_slice(&100u64.to_le_bytes());
+        buf.extend_from_slice(&body[..body.len() - 7]);
+        let err = read_binary(buf.as_slice()).unwrap_err();
         match err {
             TraceError::Truncated { records } => assert!(records < 100, "records={records}"),
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    #[test]
+    fn checksum_mismatch_is_typed() {
+        let trace = sample_trace(64);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, trace.iter().copied()).unwrap();
+        // Flip one record byte: the CRC must catch it before decoding.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x04;
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::Checksum { .. }), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn legacy_v2_traces_still_read() {
+        let trace = sample_trace(50);
+        let mut body = Vec::new();
+        write_records(&mut body, trace.iter().copied()).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"ACTR\x02");
+        buf.extend_from_slice(&50u64.to_le_bytes());
+        buf.extend_from_slice(&body);
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]
@@ -534,6 +635,33 @@ mod tests {
         write_binary(&mut buf, trace.iter().copied()).unwrap();
         // <= 20 bytes per record plus the 5-byte header.
         assert!(buf.len() <= 5 + 20 * trace.len());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+        /// Corrupting any single byte of a valid v3 trace must surface a
+        /// typed error — or, at the very least, never yield records that
+        /// differ from the originals. (The trailing CRC-32 detects every
+        /// single-byte corruption, so in practice this always errors.)
+        fn corrupted_byte_never_yields_wrong_records(
+            n in 1usize..200,
+            pos_seed in proptest::prelude::any::<u64>(),
+            mask in 1u8..=255u8,
+        ) {
+            let trace = sample_trace(n);
+            let mut buf = Vec::new();
+            write_binary(&mut buf, trace.iter().copied()).unwrap();
+            let pos = (pos_seed % buf.len() as u64) as usize;
+            buf[pos] ^= mask;
+            match read_binary(buf.as_slice()) {
+                Err(_) => {} // detected: the only acceptable loud outcome
+                Ok(back) => proptest::prop_assert_eq!(
+                    back, trace,
+                    "undetected corruption at byte {} (mask {:#04x}) changed the records",
+                    pos, mask
+                ),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! End-to-end robustness check of the two-tier replay cache: a sweep
+//! backed by a persistent `AC_REPLAY_DIR` store must produce
+//! byte-identical results whether captures come from the front-end, the
+//! in-memory tier, a warm disk store, a corrupted disk store (detected
+//! → deleted → recaptured), an injected-fault I/O layer, or a lock
+//! contention timeout. No scenario may ever yield different numbers —
+//! the disk tier is allowed to change *speed and counters only*.
+//!
+//! The global telemetry recorder is install-once per process and all
+//! `AC_REPLAY*` environment variables are process-global, so the whole
+//! scenario chain lives in ONE `#[test]` function running sequentially.
+
+use adaptive_cache::AdaptiveConfig;
+use cache_sim::PolicyKind;
+use cpu_model::{FaultyIo, IoFaultPlan};
+use experiments::runner::MpkiResult;
+use experiments::{replay_cache, replay_store, run_functional_l2, L2Kind, PAPER_L2};
+use std::sync::Arc;
+use workloads::primary_suite;
+
+const INSTS: u64 = 50_000;
+
+fn kinds() -> Vec<L2Kind> {
+    vec![
+        L2Kind::Adaptive(AdaptiveConfig::paper_default()),
+        L2Kind::Plain(PolicyKind::Lru),
+        L2Kind::Plain(PolicyKind::LFU5),
+    ]
+}
+
+fn run_sweep() -> String {
+    let mut out: Vec<MpkiResult> = Vec::new();
+    for b in primary_suite().iter().take(2) {
+        for k in kinds() {
+            out.push(run_functional_l2(b, &k, PAPER_L2, INSTS).expect("paper geometry is valid"));
+        }
+    }
+    serde_json::to_string(&out).expect("results serialise")
+}
+
+fn counter(hub: &ac_telemetry::Telemetry, name: &str) -> u64 {
+    hub.counters()
+        .get(name)
+        .map(|m| m.values().sum())
+        .unwrap_or(0)
+}
+
+#[test]
+fn warm_corrupt_faulty_and_contended_stores_all_replay_identically() {
+    let hub = ac_telemetry::Telemetry::install(ac_telemetry::TelemetryConfig::default())
+        .expect("this test binary must be the only global installer");
+    let dir = std::env::temp_dir().join(format!("replay_store_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("AC_REPLAY", "1");
+    std::env::set_var("AC_REPLAY_DIR", &dir);
+
+    // --- Scenario 1: cold run captures live and persists every entry.
+    replay_cache::clear();
+    let cold = run_sweep();
+    let writes = counter(hub, "replay_store_writes_total");
+    assert_eq!(writes, 2, "one persisted capture per benchmark");
+    let entries = replay_store::scan(&dir).unwrap();
+    assert_eq!(entries.len(), 2);
+    assert!(entries.iter().all(|e| e.fingerprint.is_some()));
+
+    // --- Scenario 2: warm store, cold memory — every capture loads
+    // from disk, zero front-end runs, byte-identical results.
+    let captures_before = counter(hub, "replay_cache_captures_total");
+    replay_cache::clear();
+    let warm = run_sweep();
+    assert_eq!(warm, cold, "warm-store sweep diverged from cold run");
+    assert_eq!(
+        counter(hub, "replay_cache_captures_total"),
+        captures_before,
+        "warm store must not re-run the front-end"
+    );
+    assert_eq!(counter(hub, "replay_store_disk_hits_total"), 2);
+
+    // --- Scenario 3: corrupt one entry in place. The load must detect
+    // it, delete it, recapture, and still produce identical results.
+    let victim = entries[0].path.clone();
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&victim, &bytes).unwrap();
+    replay_cache::clear();
+    let healed = run_sweep();
+    assert_eq!(healed, cold, "recapture after corruption diverged");
+    assert_eq!(counter(hub, "replay_store_corrupt_entries_total"), 1);
+    assert_eq!(counter(hub, "replay_store_recaptures_total"), 1);
+    // The recapture re-persisted the entry, so the store is whole again.
+    for v in replay_store::verify_dir(&dir).unwrap() {
+        assert!(
+            v.result.is_ok(),
+            "{:?} still corrupt: {:?}",
+            v.info.path,
+            v.result
+        );
+    }
+
+    // --- Scenario 4: injected read faults (EIO then a short read).
+    // Both loads fail loudly, both entries are recaptured, results are
+    // unchanged — and the fault layer provably fired.
+    let faulty = Arc::new(FaultyIo::new(IoFaultPlan {
+        eio_reads: 1,
+        short_read: Some(100),
+        ..IoFaultPlan::default()
+    }));
+    replay_store::set_io(Some(faulty.clone()));
+    replay_cache::clear();
+    let under_faults = run_sweep();
+    assert_eq!(
+        under_faults, cold,
+        "sweep under injected read faults diverged"
+    );
+    assert_eq!(faulty.injected(), 2, "both armed read faults must fire");
+    assert_eq!(counter(hub, "replay_store_recaptures_total"), 3);
+
+    // --- Scenario 5: injected ENOSPC on write. The persist fails, the
+    // warn is swallowed, the sweep still completes identically.
+    faulty.set_plan(IoFaultPlan {
+        enospc_writes: 2,
+        ..IoFaultPlan::default()
+    });
+    // Invalidate the store so the sweep must write (and fail to).
+    for e in replay_store::scan(&dir).unwrap() {
+        std::fs::remove_file(&e.path).unwrap();
+    }
+    replay_cache::clear();
+    let under_enospc = run_sweep();
+    assert_eq!(under_enospc, cold, "sweep under injected ENOSPC diverged");
+    assert_eq!(faulty.injected(), 4, "both armed write faults must fire");
+    replay_store::set_io(None);
+    // Re-prime the store for the remaining scenarios.
+    replay_cache::clear();
+    assert_eq!(run_sweep(), cold);
+
+    // --- Scenario 6: lock contention. A fresh foreign lock on one
+    // entry forces a timeout; the cell captures live (never reads the
+    // locked entry) and the sweep is still identical.
+    std::env::set_var("AC_REPLAY_LOCK_TIMEOUT_MS", "60");
+    let locked = format!(
+        "{}.lock",
+        replay_store::scan(&dir).unwrap()[0].path.display()
+    );
+    std::fs::write(&locked, b"424242\n").unwrap();
+    let recaptures_before = counter(hub, "replay_store_recaptures_total");
+    replay_cache::clear();
+    let contended = run_sweep();
+    assert_eq!(contended, cold, "lock-timeout fallback diverged");
+    assert_eq!(
+        counter(hub, "replay_store_recaptures_total"),
+        recaptures_before + 1,
+        "the locked entry counts one recapture"
+    );
+
+    // --- Scenario 7: the same lock, aged past the staleness horizon,
+    // is stolen instead — the entry loads from disk again.
+    std::env::set_var("AC_REPLAY_LOCK_STALE_MS", "1");
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let disk_hits_before = counter(hub, "replay_store_disk_hits_total");
+    replay_cache::clear();
+    let stolen = run_sweep();
+    assert_eq!(stolen, cold, "stale-lock steal diverged");
+    assert_eq!(
+        counter(hub, "replay_store_disk_hits_total"),
+        disk_hits_before + 2,
+        "after stealing the stale lock every entry is a disk hit"
+    );
+    assert!(
+        !std::path::Path::new(&locked).exists(),
+        "stolen lock not cleaned up"
+    );
+    std::env::remove_var("AC_REPLAY_LOCK_TIMEOUT_MS");
+    std::env::remove_var("AC_REPLAY_LOCK_STALE_MS");
+
+    // --- Scenario 8: `AC_REPLAY_CACHE_MB` is re-read per call (the cap
+    // used to be latched in a OnceLock, making it untestable in-process).
+    // A zero cap evicts everything just published...
+    std::env::set_var("AC_REPLAY_CACHE_MB", "0");
+    let evictions_before = counter(hub, "replay_cache_evictions_total");
+    replay_cache::clear();
+    let capped = run_sweep();
+    assert_eq!(capped, cold, "zero-cap sweep diverged");
+    assert!(
+        counter(hub, "replay_cache_evictions_total") > evictions_before,
+        "a zero cap must evict"
+    );
+    // ...and restoring the default is honoured immediately, same process.
+    std::env::remove_var("AC_REPLAY_CACHE_MB");
+    let evictions_mid = counter(hub, "replay_cache_evictions_total");
+    replay_cache::clear();
+    assert_eq!(run_sweep(), cold);
+    assert_eq!(
+        counter(hub, "replay_cache_evictions_total"),
+        evictions_mid,
+        "default cap must not evict this working set"
+    );
+
+    std::env::remove_var("AC_REPLAY_DIR");
+    std::env::remove_var("AC_REPLAY");
+    let _ = std::fs::remove_dir_all(&dir);
+}

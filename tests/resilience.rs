@@ -131,7 +131,10 @@ fn resume_honours_ac_resume_env() {
     std::env::set_var("AC_RESUME", "1");
     let cfg = SupervisorConfig::journalled(&dir, "envfig");
     assert!(cfg.resume);
-    assert_eq!(cfg.journal.as_deref(), Some(&*dir.join("envfig.journal.jsonl")));
+    assert_eq!(
+        cfg.journal.as_deref(),
+        Some(&*dir.join("envfig.journal.jsonl"))
+    );
     std::env::remove_var("AC_RESUME");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -142,7 +145,11 @@ fn wedged_cache_cell_times_out_under_deadline() {
     let bench = suite[0].clone();
     // One healthy cell and one that stalls 30s on its first L2 access.
     let cells = vec![
-        (0usize, bench.clone(), L2Kind::Plain(cache_sim::PolicyKind::Lru)),
+        (
+            0usize,
+            bench.clone(),
+            L2Kind::Plain(cache_sim::PolicyKind::Lru),
+        ),
         (
             1usize,
             bench,
@@ -172,9 +179,13 @@ fn sample_trace() -> Vec<u8> {
     let insts = (0..64u64).map(|i| Inst {
         pc: 0x1000 + i * 4,
         kind: match i % 4 {
-            0 => InstKind::Load { addr: 0x8000 + i * 64 },
+            0 => InstKind::Load {
+                addr: 0x8000 + i * 64,
+            },
             1 => InstKind::IntAlu,
-            2 => InstKind::Store { addr: 0x9000 + i * 64 },
+            2 => InstKind::Store {
+                addr: 0x9000 + i * 64,
+            },
             _ => InstKind::Branch {
                 taken: i % 8 == 3,
                 target: 0x1000,
@@ -190,13 +201,16 @@ fn sample_trace() -> Vec<u8> {
 #[test]
 fn truncated_trace_is_a_typed_error_not_a_panic() {
     let bytes = sample_trace();
-    // Cut the stream mid-record, well past the header.
+    // Cut the stream mid-record, well past the header. Under the v3
+    // format the cut lands in (or removes part of) the trailing CRC, so
+    // the checksum verification catches it; a cut in a v2 trace instead
+    // surfaces as Truncated or an UnexpectedEof from read_exact. All are
+    // typed, none panic.
     let cut = bytes.len() as u64 - 7;
     let err = trace_io::read_binary(FaultyRead::new(&bytes[..]).truncate_at(cut)).unwrap_err();
     match err {
+        TraceError::Checksum { .. } => {}
         TraceError::Truncated { records } => assert!(records < 64, "read {records}"),
-        // A cut inside the fixed part of a record surfaces as an
-        // UnexpectedEof from read_exact; both are typed, neither panics.
         TraceError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
         other => panic!("expected truncation, got {other:?}"),
     }
@@ -211,12 +225,21 @@ fn corrupted_magic_is_rejected() {
 
 #[test]
 fn hostile_record_count_is_rejected_before_allocation() {
-    let bytes = sample_trace();
     // Flip the top bit of the little-endian count (header bytes 5..13):
     // the header now claims ~2^63 records for a ~1 KiB body. A reader
-    // that pre-allocates from the header would abort; ours must return
+    // that pre-allocates from the header would abort; ours must reject
+    // before allocating. A current (v3) trace fails its trailing CRC —
+    // which is verified before any allocation sized from the header —
+    // while a legacy v2 trace (no checksum to save it) must still return
     // BadCount after comparing against the bytes actually present.
+    let bytes = sample_trace();
     let err = trace_io::read_binary(FaultyRead::new(&bytes[..]).flip_bit(12, 0x80)).unwrap_err();
+    assert!(matches!(err, TraceError::Checksum { .. }), "{err:?}");
+
+    let mut v2 = bytes.clone();
+    v2[4] = 2; // rewrite version; v2 has no trailing CRC, drop it
+    v2.truncate(v2.len() - 4);
+    let err = trace_io::read_binary(FaultyRead::new(&v2[..]).flip_bit(12, 0x80)).unwrap_err();
     match err {
         TraceError::BadCount {
             declared,
@@ -244,14 +267,15 @@ fn io_error_mid_trace_propagates() {
 
 #[test]
 fn flipped_payload_bit_still_parses_or_fails_typed() {
-    // A bit flip in a record body (not header) either decodes to a
-    // different-but-valid instruction or yields a typed BadKind — the
-    // reader must never panic on any single-bit corruption.
+    // A bit flip anywhere past the version byte must yield a typed error
+    // — never a panic, and (v3) never silently-different instructions:
+    // the trailing CRC covers the count, every record, and itself, so
+    // every single-bit corruption is detected before decoding.
     let bytes = sample_trace();
     for at in 13..bytes.len() as u64 {
         match trace_io::read_binary(FaultyRead::new(&bytes[..]).flip_bit(at, 0x10)) {
-            Ok(insts) => assert_eq!(insts.len(), 64),
-            Err(TraceError::BadKind(_)) | Err(TraceError::Truncated { .. }) => {}
+            Err(TraceError::Checksum { .. }) => {}
+            Ok(_) => panic!("byte {at}: corruption decoded silently"),
             Err(other) => panic!("byte {at}: unexpected {other:?}"),
         }
     }
