@@ -21,7 +21,14 @@
 //! `AC_TELEMETRY` environment variable) enables the `ac-telemetry`
 //! observability layer — `metrics.prom`, a Chrome `trace.json`, a
 //! sampled `events.jsonl` decision stream and `telemetry-summary.json`
-//! are written to the chosen directory on exit.
+//! are written to the chosen directory on exit (and periodically
+//! mid-run when `AC_TELEMETRY_FLUSH_MS` is set).
+//!
+//! Live introspection: `--serve <addr>` (or `AC_SERVE=<addr>`) starts an
+//! HTTP server exposing the running process — `/metrics` (Prometheus),
+//! `/progress` (sweep cells + ETA), `/events` (SSE decision stream) and
+//! a live `/` dashboard. Bind port 0 for an ephemeral port;
+//! `AC_SERVE_ADDR_FILE=<path>` publishes the bound address.
 //!
 //! Exit codes: `0` all results produced, `2` sweep finished with partial
 //! results, `3` invalid input, `5` `cache verify` found corrupt store
@@ -301,6 +308,7 @@ fn run_sweep_request(req: SweepRequest, config_path: &Path) -> i32 {
         journal: Some(resilience::journal_path(Path::new("results"), &stem)),
         resume: resilience::resume_from_env(),
         threads: 0,
+        progress: Some(stem.clone()),
     };
     // Cell keys are the resume identity: the position plus the workload,
     // L2 label, mode and instruction budget, so editing one cell of the
@@ -464,20 +472,44 @@ fn run_cache_subcommand(rest: &[String]) -> i32 {
     }
 }
 
-/// `cachesim bench [--sweep] [--quick] [--out <path>]`: measure access
-/// throughput per organisation (against the seed-layout baselines where
-/// they exist) and write `results/bench_access.json` — or, with
-/// `--sweep`, time a fig03-style functional sweep replay-on vs
-/// replay-off and write `results/bench_sweep.json`.
-fn run_bench_subcommand(rest: &[String]) {
+/// Appends the bench's headline numbers to the history observatory; a
+/// write failure downgrades to a warning (the bench itself succeeded).
+fn append_bench_history(
+    history_path: &Path,
+    kind: &str,
+    quick: bool,
+    metrics: std::collections::BTreeMap<String, f64>,
+) {
+    let record = bench::history::record(kind, quick, metrics);
+    match bench::history::append(history_path, &record) {
+        Ok(()) => println!("appended {}", history_path.display()),
+        Err(e) => eprintln!("cachesim: cannot append {}: {e}", history_path.display()),
+    }
+}
+
+/// `cachesim bench [--sweep] [--quick] [--out <path>] [--history <path>]
+/// [--trend [--threshold <pct>]]`: measure access throughput per
+/// organisation (against the seed-layout baselines where they exist) and
+/// write `results/bench_access.json` — or, with `--sweep`, time a
+/// fig03-style functional sweep replay-on vs replay-off and write
+/// `results/bench_sweep.json`. Every bench appends one line to the
+/// history observatory (`results/bench_history.jsonl`); `--trend` skips
+/// benching and instead prints the recorded trajectory, exiting 4 when
+/// the newest record of a series regressed beyond the threshold
+/// (`--threshold` / `AC_BENCH_MAX_REGRESSION_PCT`, default 10%).
+fn run_bench_subcommand(rest: &[String]) -> i32 {
     let mut quick = false;
     let mut sweep = false;
+    let mut trend = false;
     let mut out: Option<String> = None;
+    let mut history: Option<String> = None;
+    let mut threshold: Option<f64> = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--quick" => quick = true,
             "--sweep" => sweep = true,
+            "--trend" => trend = true,
             "--out" => {
                 i += 1;
                 match rest.get(i) {
@@ -485,15 +517,49 @@ fn run_bench_subcommand(rest: &[String]) {
                     None => die_invalid("flag `--out` requires a path operand"),
                 }
             }
+            "--history" => {
+                i += 1;
+                match rest.get(i) {
+                    Some(p) => history = Some(p.clone()),
+                    None => die_invalid("flag `--history` requires a path operand"),
+                }
+            }
+            "--threshold" => {
+                i += 1;
+                match rest.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(pct) if pct >= 0.0 => threshold = Some(pct),
+                    _ => die_invalid("flag `--threshold` wants a non-negative percentage"),
+                }
+            }
             other => {
                 if let Some(p) = other.strip_prefix("--out=") {
                     out = Some(p.to_string());
+                } else if let Some(p) = other.strip_prefix("--history=") {
+                    history = Some(p.to_string());
+                } else if let Some(p) = other.strip_prefix("--threshold=") {
+                    match p.parse::<f64>() {
+                        Ok(pct) if pct >= 0.0 => threshold = Some(pct),
+                        _ => die_invalid("flag `--threshold` wants a non-negative percentage"),
+                    }
                 } else {
                     die_invalid(&format!("unknown bench flag `{other}`"));
                 }
             }
         }
         i += 1;
+    }
+    let history_path = history.unwrap_or_else(|| bench::history::DEFAULT_HISTORY_PATH.to_string());
+    let history_path = Path::new(&history_path);
+
+    if trend {
+        let threshold = threshold
+            .or_else(|| {
+                std::env::var("AC_BENCH_MAX_REGRESSION_PCT")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(bench::history::DEFAULT_TREND_PCT);
+        return bench::history::run_trend(history_path, threshold);
     }
 
     if sweep {
@@ -508,10 +574,24 @@ fn run_bench_subcommand(rest: &[String]) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("cachesim: cannot write {}: {e}", path.display());
-                std::process::exit(1);
+                return 1;
             }
         }
-        return;
+        let mut metrics = std::collections::BTreeMap::new();
+        metrics.insert(
+            "cells_per_sec_replay_off".to_string(),
+            report.replay_off.cells_per_sec,
+        );
+        metrics.insert(
+            "cells_per_sec_replay_on".to_string(),
+            report.replay_on.cells_per_sec,
+        );
+        metrics.insert("sweep_speedup".to_string(), report.speedup);
+        if let Some(ds) = report.disk_speedup {
+            metrics.insert("disk_speedup".to_string(), ds);
+        }
+        append_bench_history(history_path, "sweep", quick, metrics);
+        return 0;
     }
 
     let out = out.unwrap_or_else(|| "results/bench_access.json".to_string());
@@ -531,9 +611,21 @@ fn run_bench_subcommand(rest: &[String]) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => {
             eprintln!("cachesim: cannot write {}: {e}", path.display());
-            std::process::exit(1);
+            return 1;
         }
     }
+    let metrics = report
+        .organisations
+        .iter()
+        .map(|org| {
+            (
+                format!("accesses_per_sec/{}", org.name),
+                org.accesses_per_sec,
+            )
+        })
+        .collect();
+    append_bench_history(history_path, "access", quick, metrics);
+    0
 }
 
 fn main() {
@@ -541,24 +633,41 @@ fn main() {
     if let Err(e) = bench::init_telemetry(&mut args) {
         die_invalid(&e);
     }
+    // The introspection server (`--serve <addr>` / `AC_SERVE`) outlives
+    // the whole dispatch; `dispatch` *returns* its exit code instead of
+    // exiting so the normal paths shut the server down and release the
+    // port deterministically. (The `die_invalid` paths still leave via
+    // `process::exit` — the OS reclaims the port there.)
+    let server = match bench::init_serve(&mut args) {
+        Ok(s) => s,
+        Err(e) => die_invalid(&e),
+    };
+    let code = dispatch(args);
+    if let Some(s) = server {
+        s.shutdown();
+    }
+    std::process::exit(code);
+}
+
+fn dispatch(mut args: Vec<String>) -> i32 {
     let mut arg = args.first().cloned().unwrap_or_default();
     if arg == "--template" {
         println!("{}", to_json(&template()));
-        return;
+        return 0;
     }
     if arg == "bench" {
-        run_bench_subcommand(&args[1..]);
+        let code = run_bench_subcommand(&args[1..]);
         bench::finish_telemetry();
-        return;
+        return code;
     }
     if arg == "cache" {
         let code = run_cache_subcommand(&args[1..]);
         bench::finish_telemetry();
-        std::process::exit(code);
+        return code;
     }
     if arg == "report" {
         // Renders run artifacts; never simulates, so no telemetry flush.
-        std::process::exit(bench::report::run_report_subcommand(&args[1..]));
+        return bench::report::run_report_subcommand(&args[1..]);
     }
     if arg == "run" {
         // `cachesim run <run.json>` is an explicit alias for the bare
@@ -568,7 +677,7 @@ fn main() {
     }
     if arg.is_empty() || arg.starts_with("--") {
         die_invalid(
-            "usage: cachesim [--telemetry <dir> | --metrics] [run] <run.json> | cachesim --template | cachesim bench [--sweep] [--quick] [--out <path>] | cachesim cache {ls|verify|gc} [--dir <dir>] | cachesim report <run-dir> [--compare <old-run-dir>] [--out <file>] [--threshold <pct>]",
+            "usage: cachesim [--telemetry <dir> | --metrics] [--serve <addr>] [run] <run.json> | cachesim --template | cachesim bench [--sweep] [--quick] [--out <path>] [--history <path>] [--trend [--threshold <pct>]] | cachesim cache {ls|verify|gc} [--dir <dir>] | cachesim report <run-dir> [--compare <old-run-dir>] [--out <file>] [--threshold <pct>]",
         );
     }
 
@@ -586,6 +695,7 @@ fn main() {
             Ok(reply) => {
                 println!("{}", to_json(&reply));
                 bench::finish_telemetry();
+                0
             }
             Err(e) => die_invalid(&e.to_string()),
         },
@@ -600,7 +710,7 @@ fn main() {
             }
             let code = run_sweep_request(sweep, Path::new(&arg));
             bench::finish_telemetry();
-            std::process::exit(code);
+            code
         }
     }
 }

@@ -1,0 +1,340 @@
+//! Bench-history observatory: one JSONL line per `cachesim bench` run,
+//! so throughput trends are visible across commits.
+//!
+//! Every bench invocation appends a [`HistoryRecord`] — timestamp, git
+//! sha, the flags that shaped the run and the headline numbers
+//! (accesses/sec per organisation, sweep replay speedup) — to
+//! `results/bench_history.jsonl`. `cachesim bench --trend` replays that
+//! file as a trajectory table and compares the newest record of each
+//! (kind, quick) series against its predecessor: every recorded metric
+//! is a throughput (higher is better), so a drop beyond the threshold
+//! (`AC_BENCH_MAX_REGRESSION_PCT`, default 10%) exits with
+//! [`crate::report::EXIT_REGRESSION`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Schema version stamped on every history line.
+pub const HISTORY_SCHEMA_VERSION: u32 = 1;
+
+/// Default history file, alongside the other bench artifacts.
+pub const DEFAULT_HISTORY_PATH: &str = "results/bench_history.jsonl";
+
+/// Default regression threshold (percent) for `--trend`.
+pub const DEFAULT_TREND_PCT: f64 = 10.0;
+
+/// One appended bench observation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoryRecord {
+    /// Schema version of this line.
+    pub schema_version: u32,
+    /// Seconds since the Unix epoch when the bench finished.
+    pub t_unix: u64,
+    /// `git rev-parse --short HEAD` at run time (`"unknown"` outside a
+    /// work tree).
+    pub git_sha: String,
+    /// Which bench ran: `"access"` or `"sweep"`.
+    pub kind: String,
+    /// Whether the reduced `--quick` configuration ran (quick and full
+    /// runs are separate trend series — their numbers are not
+    /// comparable).
+    pub quick: bool,
+    /// Headline metrics, all throughput-flavoured (higher is better):
+    /// `accesses_per_sec/<org>` for the access bench;
+    /// `cells_per_sec_replay_{off,on}` and `sweep_speedup` for the
+    /// sweep bench.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// The current commit, short form; `"unknown"` when git is unavailable
+/// (detached artifact directories, bare containers).
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Builds a record for the just-finished bench.
+pub fn record(kind: &str, quick: bool, metrics: BTreeMap<String, f64>) -> HistoryRecord {
+    HistoryRecord {
+        schema_version: HISTORY_SCHEMA_VERSION,
+        t_unix: now_unix(),
+        git_sha: git_sha(),
+        kind: kind.to_string(),
+        quick,
+        metrics,
+    }
+}
+
+/// Appends one record to the history file (created, with parents, on
+/// first use). Append-only: concurrent benches interleave whole lines.
+pub fn append(path: &Path, record: &HistoryRecord) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let line = serde_json::to_string(record)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(line.as_bytes())?;
+    f.write_all(b"\n")
+}
+
+/// Loads every parseable record, oldest first. Torn or foreign lines are
+/// skipped (the file is append-only across versions and crashes), and
+/// the skip count is returned alongside.
+pub fn load(path: &Path) -> std::io::Result<(Vec<HistoryRecord>, usize)> {
+    let text = std::fs::read_to_string(path)?;
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<HistoryRecord>(line) {
+            Ok(r) => records.push(r),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((records, skipped))
+}
+
+/// One metric's movement between the two newest records of a series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendDelta {
+    /// Series identity: `kind` plus the quick flag.
+    pub series: String,
+    /// Metric key.
+    pub key: String,
+    /// Previous and newest values.
+    pub prev: f64,
+    /// Newest value.
+    pub last: f64,
+    /// Percent change, newest vs previous (positive = faster).
+    pub delta_pct: f64,
+    /// Whether this movement breaches the threshold (throughput dropped
+    /// by more than `threshold_pct`).
+    pub regressed: bool,
+}
+
+fn series_name(r: &HistoryRecord) -> String {
+    if r.quick {
+        format!("{} (quick)", r.kind)
+    } else {
+        r.kind.clone()
+    }
+}
+
+/// Compares the newest record of every (kind, quick) series against its
+/// predecessor. Metrics present in only one of the two records are
+/// skipped — a renamed organisation starts a fresh trend.
+pub fn deltas(records: &[HistoryRecord], threshold_pct: f64) -> Vec<TrendDelta> {
+    let mut by_series: BTreeMap<String, Vec<&HistoryRecord>> = BTreeMap::new();
+    for r in records {
+        by_series.entry(series_name(r)).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for (series, rs) in by_series {
+        let [.., prev, last] = rs.as_slice() else {
+            continue;
+        };
+        for (key, &last_v) in &last.metrics {
+            let Some(&prev_v) = prev.metrics.get(key) else {
+                continue;
+            };
+            let delta_pct = if prev_v != 0.0 {
+                100.0 * (last_v - prev_v) / prev_v
+            } else {
+                0.0
+            };
+            out.push(TrendDelta {
+                series: series.clone(),
+                key: key.clone(),
+                prev: prev_v,
+                last: last_v,
+                delta_pct,
+                regressed: delta_pct < -threshold_pct,
+            });
+        }
+    }
+    out
+}
+
+/// The `--trend` driver: prints the trajectory of every series and the
+/// newest-vs-previous deltas, returning [`crate::report::EXIT_REGRESSION`]
+/// when any throughput dropped beyond `threshold_pct`.
+pub fn run_trend(path: &Path, threshold_pct: f64) -> i32 {
+    let (records, skipped) = match load(path) {
+        Ok(v) => v,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            // No observatory yet is not an error — nothing has benched.
+            println!(
+                "bench trend: no history at {} (run `cachesim bench` first)",
+                path.display()
+            );
+            return 0;
+        }
+        Err(e) => {
+            eprintln!("bench trend: cannot read {}: {e}", path.display());
+            return crate::report::EXIT_INVALID_INPUT;
+        }
+    };
+    if skipped > 0 {
+        eprintln!("bench trend: skipped {skipped} unparseable history lines");
+    }
+    if records.is_empty() {
+        println!("bench trend: no history in {}", path.display());
+        return 0;
+    }
+    println!(
+        "bench trend: {} records in {}",
+        records.len(),
+        path.display()
+    );
+    let mut by_series: BTreeMap<String, Vec<&HistoryRecord>> = BTreeMap::new();
+    for r in &records {
+        by_series.entry(series_name(r)).or_default().push(r);
+    }
+    for (series, rs) in &by_series {
+        println!("  {series}:");
+        for r in rs {
+            let metrics: Vec<String> = r
+                .metrics
+                .iter()
+                .map(|(k, v)| format!("{k}={v:.2}"))
+                .collect();
+            println!("    {} {}  {}", r.t_unix, r.git_sha, metrics.join(" "));
+        }
+    }
+    let ds = deltas(&records, threshold_pct);
+    if ds.is_empty() {
+        println!("bench trend: need two records of a series for a delta");
+        return 0;
+    }
+    let mut regressions = 0usize;
+    for d in &ds {
+        println!(
+            "  {} {}: {:.2} -> {:.2} ({:+.1}%){}",
+            d.series,
+            d.key,
+            d.prev,
+            d.last,
+            d.delta_pct,
+            if d.regressed { "  REGRESSED" } else { "" }
+        );
+        regressions += usize::from(d.regressed);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench trend: {regressions} metric(s) dropped more than {threshold_pct}% \
+             vs the previous record"
+        );
+        crate::report::EXIT_REGRESSION
+    } else {
+        println!("bench trend: no regression beyond {threshold_pct}%");
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: &str, quick: bool, pairs: &[(&str, f64)]) -> HistoryRecord {
+        HistoryRecord {
+            schema_version: HISTORY_SCHEMA_VERSION,
+            t_unix: 1,
+            git_sha: "abc1234".into(),
+            kind: kind.into(),
+            quick,
+            metrics: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn append_then_load_roundtrips_and_skips_torn_lines() {
+        let dir = std::env::temp_dir().join(format!("ac_hist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("h.jsonl");
+        append(
+            &path,
+            &rec("access", false, &[("accesses_per_sec/LRU", 10.0)]),
+        )
+        .unwrap();
+        append(&path, &rec("sweep", true, &[("sweep_speedup", 3.0)])).unwrap();
+        // A torn tail from a crashed writer must not poison the file.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"schema_version\":1,\"t_un").unwrap();
+        }
+        let (records, skipped) = load(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(skipped, 1);
+        assert_eq!(records[0].kind, "access");
+        assert_eq!(records[1].metrics["sweep_speedup"], 3.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deltas_compare_last_two_of_each_series() {
+        let records = vec![
+            rec("access", false, &[("a", 100.0)]),
+            rec("access", false, &[("a", 120.0)]),
+            rec("access", false, &[("a", 60.0)]), // -50% vs 120
+            rec("sweep", false, &[("s", 2.0)]),
+            rec("sweep", false, &[("s", 2.1)]), // +5%
+            rec("sweep", true, &[("s", 9.0)]),  // lone quick record: no delta
+        ];
+        let ds = deltas(&records, 10.0);
+        assert_eq!(ds.len(), 2);
+        let access = ds.iter().find(|d| d.series == "access").unwrap();
+        assert!(access.regressed, "{access:?}");
+        assert_eq!(access.prev, 120.0);
+        let sweep = ds.iter().find(|d| d.series == "sweep").unwrap();
+        assert!(!sweep.regressed);
+    }
+
+    #[test]
+    fn new_metric_keys_start_a_fresh_trend() {
+        let records = vec![
+            rec("access", false, &[("old", 100.0)]),
+            rec("access", false, &[("new", 5.0)]),
+        ];
+        assert!(deltas(&records, 10.0).is_empty());
+    }
+
+    #[test]
+    fn quick_and_full_are_separate_series() {
+        let records = vec![
+            rec("sweep", false, &[("s", 100.0)]),
+            rec("sweep", true, &[("s", 10.0)]),
+            rec("sweep", false, &[("s", 99.0)]),
+            rec("sweep", true, &[("s", 11.0)]),
+        ];
+        let ds = deltas(&records, 10.0);
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| !d.regressed), "{ds:?}");
+    }
+}

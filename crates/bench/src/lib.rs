@@ -5,6 +5,7 @@ use experiments::Table;
 use std::path::{Path, PathBuf};
 
 pub mod access_bench;
+pub mod history;
 pub mod report;
 pub mod seed_baseline;
 pub mod sweep_bench;
@@ -78,6 +79,43 @@ pub fn init_telemetry(
             Ok(ac_telemetry::Telemetry::install(cfg).ok())
         }
         None => Ok(ac_telemetry::init_from_env()),
+    }
+}
+
+/// Strips the `--serve <addr>` (or `--serve=<addr>`) flag from `args`
+/// and starts the live introspection server it — or the `AC_SERVE`
+/// environment variable — asks for, after plugging the full
+/// [`report::render_live_html`] dashboard into `GET /`.
+///
+/// Returns the running server (shut it down before exiting so the port
+/// is released deterministically), `Ok(None)` when nothing asked for
+/// one, `Err` on a malformed flag or an unbindable address.
+pub fn init_serve(args: &mut Vec<String>) -> Result<Option<ac_telemetry::serve::Server>, String> {
+    let mut addr: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--serve" {
+            if i + 1 >= args.len() {
+                return Err("flag `--serve` requires an address operand (e.g. 127.0.0.1:0)".into());
+            }
+            args.remove(i);
+            addr = Some(args.remove(i));
+        } else if let Some(rest) = args[i].strip_prefix("--serve=") {
+            if rest.is_empty() {
+                return Err("flag `--serve=` requires an address operand".into());
+            }
+            addr = Some(rest.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    ac_telemetry::serve::set_dashboard_renderer(Box::new(report::render_live_html));
+    match addr {
+        Some(addr) => ac_telemetry::serve::Server::start(&addr)
+            .map(Some)
+            .map_err(|e| format!("flag `--serve {addr}`: cannot bind: {e}")),
+        None => Ok(ac_telemetry::serve::Server::start_from_env()),
     }
 }
 

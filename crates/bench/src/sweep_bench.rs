@@ -9,7 +9,7 @@
 //! `results/bench_sweep.json`.
 
 use experiments::runner::{run_functional_l2, L2Kind, PAPER_L2};
-use experiments::{replay_cache, try_parallel_map};
+use experiments::{replay_cache, try_parallel_map_progress};
 use serde::Serialize;
 use std::path::Path;
 use std::time::Instant;
@@ -64,9 +64,17 @@ pub struct SweepBenchReport {
 }
 
 fn run_cells(cells: &[(Benchmark, L2Kind)], insts: u64) {
-    let results = try_parallel_map(cells, |(b, k)| {
-        run_functional_l2(b, k, PAPER_L2, insts).expect("paper geometry is valid")
-    });
+    // Each timed pass registers (and finishes) a `bench_sweep` entry in
+    // the live progress registry; a `--serve` introspection server shows
+    // the pass currently running, and the final pass ends done == total.
+    let handle = ac_telemetry::progress::sweep("bench_sweep", cells.len() as u64);
+    let results = try_parallel_map_progress(
+        cells,
+        Some(&handle),
+        |_, (b, k)| format!("{}:{}", b.name, k.label()),
+        |(b, k)| run_functional_l2(b, k, PAPER_L2, insts).expect("paper geometry is valid"),
+    );
+    handle.finish();
     for r in results {
         r.expect("sweep cell failed");
     }

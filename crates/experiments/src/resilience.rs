@@ -244,6 +244,10 @@ pub struct SupervisorConfig {
     pub resume: bool,
     /// Worker threads; `0` uses the available parallelism.
     pub threads: usize,
+    /// Register the sweep under this name in the live progress registry
+    /// ([`ac_telemetry::progress`]), so a `--serve` introspection server
+    /// can report cells done/running/failed and an ETA mid-run.
+    pub progress: Option<String>,
 }
 
 impl Default for SupervisorConfig {
@@ -254,17 +258,20 @@ impl Default for SupervisorConfig {
             journal: None,
             resume: false,
             threads: 0,
+            progress: None,
         }
     }
 }
 
 impl SupervisorConfig {
     /// A config journalling to [`journal_path`]`(dir, figure)` with resume
-    /// taken from the `AC_RESUME` environment variable.
+    /// taken from the `AC_RESUME` environment variable, reporting live
+    /// progress under the figure's name.
     pub fn journalled(dir: &Path, figure: &str) -> Self {
         SupervisorConfig {
             journal: Some(journal_path(dir, figure)),
             resume: resume_from_env(),
+            progress: Some(figure.to_string()),
             ..SupervisorConfig::default()
         }
     }
@@ -408,6 +415,10 @@ where
     };
     let keys: Vec<String> = cells.iter().map(&key_of).collect();
     let f = Arc::new(f);
+    let progress = cfg
+        .progress
+        .as_deref()
+        .map(|name| ac_telemetry::progress::sweep(name, cells.len() as u64));
 
     let threads = if cfg.threads > 0 {
         cfg.threads
@@ -425,6 +436,7 @@ where
     let journal = &journal;
     let completed = &completed;
     let keys = &keys;
+    let progress = &progress;
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -438,6 +450,13 @@ where
                 if let Some(v) = completed.get(&key) {
                     if let Ok(r) = serde_json::from_value::<R>(v.clone()) {
                         ac_telemetry::counter_add_labeled("cells_total", "resumed", 1);
+                        if let Some(p) = progress {
+                            p.cell_finished(
+                                &key,
+                                ac_telemetry::progress::CellStatus::Resumed,
+                                Duration::ZERO,
+                            );
+                        }
                         *slot = Some(CellReport {
                             key,
                             attempts: 0,
@@ -447,7 +466,30 @@ where
                     }
                 }
 
+                if let Some(p) = progress {
+                    p.cell_start(&key);
+                }
+                let started = std::time::Instant::now();
                 let report = supervise_cell(&key, &cells[i], cfg, &f);
+                if let Some(p) = progress {
+                    use ac_telemetry::progress::CellStatus;
+                    p.cell_retried(report.attempts.saturating_sub(1));
+                    let status = match &report.outcome {
+                        CellOutcome::Done(_) | CellOutcome::Resumed(_) => CellStatus::Done,
+                        CellOutcome::Failed(_) => CellStatus::Failed,
+                        CellOutcome::TimedOut(_) => CellStatus::TimedOut,
+                    };
+                    p.cell_finished(&key, status, started.elapsed());
+                }
+                if !matches!(
+                    report.outcome,
+                    CellOutcome::Done(_) | CellOutcome::Resumed(_)
+                ) {
+                    // A failed or timed-out cell flushes artifacts
+                    // immediately so the crash-current state survives
+                    // even without the periodic flusher.
+                    ac_telemetry::flush_now();
+                }
                 if let Some(j) = journal {
                     let entry = entry_of(&report);
                     if let Err(e) = lock(j).append(entry) {
@@ -458,6 +500,9 @@ where
             });
         }
     });
+    if let Some(p) = progress {
+        p.finish();
+    }
 
     Ok(SweepReport {
         cells: reports

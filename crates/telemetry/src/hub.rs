@@ -149,6 +149,12 @@ pub struct Telemetry {
     /// Events actually recorded (ring and/or sink).
     events_recorded: AtomicU64,
     log_counts: [AtomicU64; 4],
+    /// Serialises [`Telemetry::write_artifacts`]: the periodic flusher,
+    /// the supervisor's failure-path flush and the exit flush all share
+    /// one temp-file name per artifact, so exports must not interleave.
+    flush_gate: Mutex<()>,
+    /// Whether the background flusher thread was already spawned.
+    flusher_started: std::sync::atomic::AtomicBool,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -177,6 +183,8 @@ impl Telemetry {
             event_seq: AtomicU64::new(0),
             events_recorded: AtomicU64::new(0),
             log_counts: Default::default(),
+            flush_gate: Mutex::new(()),
+            flusher_started: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -189,9 +197,46 @@ impl Telemetry {
         match crate::set_recorder(Box::new(HubHandle(hub))) {
             Ok(()) => {
                 crate::set_hub(hub);
+                hub.start_flusher_from_env();
                 Ok(hub)
             }
             Err(_) => Err(hub.cfg.clone()),
+        }
+    }
+
+    /// Spawns the periodic artifact flusher when `AC_TELEMETRY_FLUSH_MS`
+    /// names an interval (milliseconds, minimum 50). With a flusher
+    /// running, the on-disk `telemetry-summary.json` / `metrics.prom` /
+    /// `timeline.jsonl` stay crash-current during a long run instead of
+    /// appearing only at exit.
+    pub fn start_flusher_from_env(&'static self) {
+        let Some(ms) = std::env::var("AC_TELEMETRY_FLUSH_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+        else {
+            return;
+        };
+        self.start_flusher(std::time::Duration::from_millis(ms.max(50)));
+    }
+
+    /// Spawns a daemon thread writing every artifact atomically each
+    /// `interval`. Idempotent: only the first call spawns.
+    pub fn start_flusher(&'static self, interval: std::time::Duration) {
+        use std::sync::atomic::Ordering;
+        if self.cfg.dir.is_none() || self.flusher_started.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let spawned = std::thread::Builder::new()
+            .name("ac-telemetry-flush".into())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                if let Err(e) = self.write_artifacts() {
+                    crate::warn!("telemetry: periodic flush failed: {e}");
+                }
+            });
+        if spawned.is_err() {
+            crate::warn!("telemetry: could not spawn the periodic flusher");
         }
     }
 
@@ -309,10 +354,16 @@ impl Telemetry {
     /// Flushes the JSONL sink and writes every artifact
     /// (`metrics.prom`, `trace.json`, `telemetry-summary.json`) to the
     /// configured directory. No-op (Ok) when no directory is configured.
+    ///
+    /// Safe to call *mid-run* (each artifact is a point-in-time snapshot
+    /// taken under the hub's locks, written atomically) and from several
+    /// threads (exports are serialised on an internal gate) — the
+    /// periodic flusher and the supervisor's failure paths rely on both.
     pub fn write_artifacts(&self) -> io::Result<Vec<PathBuf>> {
         let Some(dir) = self.cfg.dir.clone() else {
             return Ok(Vec::new());
         };
+        let _gate = lock(&self.flush_gate);
         std::fs::create_dir_all(&dir)?;
         {
             let mut ev = lock(&self.events);

@@ -63,6 +63,8 @@ mod hub;
 mod json;
 mod logging;
 mod metrics;
+pub mod progress;
+pub mod serve;
 mod span;
 pub mod timeline;
 
@@ -180,6 +182,18 @@ pub fn init_from_env() -> Option<&'static Telemetry> {
     }
     let cfg = TelemetryConfig::from_env()?;
     Telemetry::install(cfg).ok()
+}
+
+/// Writes the installed hub's artifacts *now* (ignoring errors): the
+/// supervisor's failure paths call this so a panicking or timed-out
+/// sweep cell still leaves crash-current `telemetry-summary.json` /
+/// `metrics.prom` on disk. No-op without a hub or artifact directory.
+pub fn flush_now() {
+    if let Some(h) = hub() {
+        if let Err(e) = h.write_artifacts() {
+            warn!("telemetry: mid-run flush failed: {e}");
+        }
+    }
 }
 
 /// Adds `delta` to counter `name` (label `""`) on the global recorder.

@@ -1,0 +1,522 @@
+//! Live sweep-progress registry: cells done/running/failed, per-cell
+//! wall times, and an EWMA-based ETA.
+//!
+//! The supervisor (and any other fan-out driver) registers a sweep with
+//! [`sweep`], then reports per-cell lifecycle transitions through the
+//! returned [`SweepHandle`]. The registry is process-global and
+//! independent of the [`crate::Recorder`] — progress is tracked even
+//! with metrics disabled — but when a recorder *is* installed every
+//! completion also bumps the `sweep_cells_done_total` /
+//! `sweep_cells_failed_total` counters and the `sweep_eta_seconds`
+//! gauge, so a Prometheus scrape sees the same story as `/progress`.
+//!
+//! The ETA is an exponentially weighted moving average of the interval
+//! between cell *completions* (α = [`EWMA_ALPHA`]). Measuring
+//! completion intervals rather than per-cell wall time makes the
+//! estimate concurrency-aware for free: with `W` workers retiring cells,
+//! completions arrive `W` times faster and the EWMA converges on the
+//! effective per-cell cost of the whole pool.
+
+use crate::json::{number, push_str_escaped};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Schema version stamped on the `/progress` JSON document.
+pub const PROGRESS_SCHEMA_VERSION: u32 = 1;
+
+/// Smoothing factor of the completion-interval EWMA.
+pub const EWMA_ALPHA: f64 = 0.3;
+
+/// Completed-cell records retained per sweep for the `recent` list.
+const RECENT_CAP: usize = 32;
+
+/// Finished sweeps retained in the registry (the live ones are always
+/// kept; old finished ones age out oldest-first).
+const FINISHED_CAP: usize = 16;
+
+/// How one cell settled, as reported to the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Computed successfully in this run.
+    Done,
+    /// Skipped because a checkpoint journal proved it complete.
+    Resumed,
+    /// Failed after all attempts.
+    Failed,
+    /// Exceeded its deadline on all attempts.
+    TimedOut,
+}
+
+impl CellStatus {
+    /// Stable wire name (`snake_case`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellStatus::Done => "done",
+            CellStatus::Resumed => "resumed",
+            CellStatus::Failed => "failed",
+            CellStatus::TimedOut => "timed_out",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RecentCell {
+    key: String,
+    status: CellStatus,
+    wall_secs: f64,
+}
+
+#[derive(Debug)]
+struct SweepState {
+    name: String,
+    total: u64,
+    done: u64,
+    resumed: u64,
+    failed: u64,
+    timed_out: u64,
+    retried: u64,
+    running: Vec<String>,
+    started: Instant,
+    last_completion: Option<Instant>,
+    ewma_interval_secs: f64,
+    recent: VecDeque<RecentCell>,
+    finished: bool,
+    finished_elapsed_secs: f64,
+}
+
+impl SweepState {
+    fn completed(&self) -> u64 {
+        self.done + self.resumed + self.failed + self.timed_out
+    }
+
+    fn elapsed_secs(&self) -> f64 {
+        if self.finished {
+            self.finished_elapsed_secs
+        } else {
+            self.started.elapsed().as_secs_f64()
+        }
+    }
+
+    /// Remaining wall-clock estimate, in seconds.
+    ///
+    /// * Nothing left (or already finished): `0`.
+    /// * At least one completion observed: `EWMA(interval) × remaining`.
+    /// * Cells running but none completed yet: the elapsed time of the
+    ///   oldest in-flight cell is the best lower bound we have per cell.
+    fn eta_secs(&self) -> f64 {
+        let remaining = self.total.saturating_sub(self.completed());
+        if remaining == 0 || self.finished {
+            return 0.0;
+        }
+        if self.ewma_interval_secs > 0.0 {
+            self.ewma_interval_secs * remaining as f64
+        } else {
+            // No completion yet: assume every remaining cell costs at
+            // least what the current run has already spent.
+            self.elapsed_secs() * remaining as f64
+        }
+    }
+}
+
+/// A registered sweep; clone freely (all clones share one state).
+///
+/// Dropping the handle does *not* finish the sweep — call
+/// [`SweepHandle::finish`] (or let every cell complete) so `/progress`
+/// can distinguish "finished" from "abandoned mid-run".
+#[derive(Debug, Clone)]
+pub struct SweepHandle {
+    state: Arc<Mutex<SweepState>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SweepHandle {
+    /// Marks `key` as running.
+    pub fn cell_start(&self, key: &str) {
+        let mut s = lock(&self.state);
+        if !s.running.iter().any(|k| k == key) {
+            s.running.push(key.to_string());
+        }
+    }
+
+    /// Marks `key` as settled with `status` after `wall` of work.
+    pub fn cell_finished(&self, key: &str, status: CellStatus, wall: Duration) {
+        let name;
+        let eta;
+        {
+            let mut s = lock(&self.state);
+            s.running.retain(|k| k != key);
+            match status {
+                CellStatus::Done => s.done += 1,
+                CellStatus::Resumed => s.resumed += 1,
+                CellStatus::Failed => s.failed += 1,
+                CellStatus::TimedOut => s.timed_out += 1,
+            }
+            let now = Instant::now();
+            let interval = now
+                .duration_since(s.last_completion.unwrap_or(s.started))
+                .as_secs_f64();
+            s.last_completion = Some(now);
+            s.ewma_interval_secs = if s.ewma_interval_secs > 0.0 {
+                EWMA_ALPHA * interval + (1.0 - EWMA_ALPHA) * s.ewma_interval_secs
+            } else {
+                interval
+            };
+            if s.recent.len() == RECENT_CAP {
+                s.recent.pop_front();
+            }
+            s.recent.push_back(RecentCell {
+                key: key.to_string(),
+                status,
+                wall_secs: wall.as_secs_f64(),
+            });
+            name = s.name.clone();
+            eta = s.eta_secs();
+        }
+        if crate::enabled() {
+            let counter = match status {
+                CellStatus::Done | CellStatus::Resumed => "sweep_cells_done_total",
+                CellStatus::Failed => "sweep_cells_failed_total",
+                CellStatus::TimedOut => "sweep_cells_timed_out_total",
+            };
+            crate::counter_add_labeled(counter, &name, 1);
+            crate::gauge_set_labeled("sweep_eta_seconds", &name, eta);
+        }
+    }
+
+    /// Records `extra` additional attempts beyond the first for one cell.
+    pub fn cell_retried(&self, extra: u32) {
+        if extra == 0 {
+            return;
+        }
+        let name = {
+            let mut s = lock(&self.state);
+            s.retried += u64::from(extra);
+            s.name.clone()
+        };
+        if crate::enabled() {
+            crate::counter_add_labeled("sweep_cell_retries_total", &name, u64::from(extra));
+        }
+    }
+
+    /// Marks the sweep finished (freezes `elapsed`, zeroes the ETA).
+    pub fn finish(&self) {
+        let mut s = lock(&self.state);
+        if !s.finished {
+            s.finished = true;
+            s.finished_elapsed_secs = s.started.elapsed().as_secs_f64();
+            s.running.clear();
+        }
+    }
+
+    /// Point-in-time view of this sweep.
+    pub fn snapshot(&self) -> SweepSnapshot {
+        snapshot_of(&lock(&self.state))
+    }
+}
+
+/// Point-in-time view of one sweep, as served by `/progress`.
+#[derive(Debug, Clone)]
+pub struct SweepSnapshot {
+    /// Sweep name (journal stem, bench mode, ...).
+    pub name: String,
+    /// Total cells in the sweep.
+    pub total: u64,
+    /// Cells computed successfully in this run.
+    pub done: u64,
+    /// Cells restored from a checkpoint journal.
+    pub resumed: u64,
+    /// Cells that failed after all attempts.
+    pub failed: u64,
+    /// Cells that exceeded their deadline on all attempts.
+    pub timed_out: u64,
+    /// Extra attempts consumed beyond each cell's first.
+    pub retried: u64,
+    /// Keys currently running.
+    pub running: Vec<String>,
+    /// Wall-clock seconds since the sweep was registered (frozen at
+    /// [`SweepHandle::finish`]).
+    pub elapsed_secs: f64,
+    /// EWMA of the interval between cell completions, in seconds.
+    pub ewma_cell_secs: f64,
+    /// Estimated seconds until the last cell settles (0 when finished).
+    pub eta_secs: f64,
+    /// Whether the sweep was marked finished.
+    pub finished: bool,
+    /// The most recently settled cells (key, status, wall seconds).
+    pub recent: Vec<(String, CellStatus, f64)>,
+}
+
+impl SweepSnapshot {
+    /// Cells settled so far (done + resumed + failed + timed out).
+    pub fn completed(&self) -> u64 {
+        self.done + self.resumed + self.failed + self.timed_out
+    }
+}
+
+fn snapshot_of(s: &SweepState) -> SweepSnapshot {
+    SweepSnapshot {
+        name: s.name.clone(),
+        total: s.total,
+        done: s.done,
+        resumed: s.resumed,
+        failed: s.failed,
+        timed_out: s.timed_out,
+        retried: s.retried,
+        running: s.running.clone(),
+        elapsed_secs: s.elapsed_secs(),
+        ewma_cell_secs: s.ewma_interval_secs,
+        eta_secs: s.eta_secs(),
+        finished: s.finished,
+        recent: s
+            .recent
+            .iter()
+            .map(|r| (r.key.clone(), r.status, r.wall_secs))
+            .collect(),
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Mutex<SweepState>>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<SweepState>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers a sweep of `total` cells under `name` and returns its
+/// reporting handle. Re-registering a *finished* sweep of the same name
+/// replaces it (a re-run starts a fresh progress story); a still-live
+/// sweep of the same name is left alone and the new one is simply
+/// appended, so overlapping sweeps never clobber each other.
+pub fn sweep(name: &str, total: u64) -> SweepHandle {
+    let state = Arc::new(Mutex::new(SweepState {
+        name: name.to_string(),
+        total,
+        done: 0,
+        resumed: 0,
+        failed: 0,
+        timed_out: 0,
+        retried: 0,
+        running: Vec::new(),
+        started: Instant::now(),
+        last_completion: None,
+        ewma_interval_secs: 0.0,
+        recent: VecDeque::new(),
+        finished: false,
+        finished_elapsed_secs: 0.0,
+    }));
+    let mut reg = lock(registry());
+    reg.retain(|s| {
+        let s = lock(s);
+        !(s.finished && s.name == name)
+    });
+    // Bound unbounded growth from long-lived processes registering many
+    // sweeps: age out the oldest finished entries beyond the cap.
+    let finished: Vec<usize> = reg
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| lock(s).finished)
+        .map(|(i, _)| i)
+        .collect();
+    if finished.len() > FINISHED_CAP {
+        for &i in finished[..finished.len() - FINISHED_CAP].iter().rev() {
+            reg.remove(i);
+        }
+    }
+    reg.push(Arc::clone(&state));
+    if crate::enabled() {
+        crate::gauge_set_labeled("sweep_cells_total", name, total as f64);
+    }
+    SweepHandle { state }
+}
+
+/// Snapshots of every registered sweep, oldest first.
+pub fn snapshot() -> Vec<SweepSnapshot> {
+    lock(registry())
+        .iter()
+        .map(|s| snapshot_of(&lock(s)))
+        .collect()
+}
+
+/// Clears the registry (test isolation only).
+pub fn clear() {
+    lock(registry()).clear();
+}
+
+/// The `/progress` document: every registered sweep as one JSON object.
+pub fn to_json() -> String {
+    let sweeps = snapshot();
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"schema_version\":");
+    out.push_str(&PROGRESS_SCHEMA_VERSION.to_string());
+    out.push_str(",\"sweeps\":[");
+    for (i, s) in sweeps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_str_escaped(&mut out, &s.name);
+        out.push_str(&format!(
+            ",\"total\":{},\"done\":{},\"resumed\":{},\"failed\":{},\
+             \"timed_out\":{},\"retried\":{},\"completed\":{}",
+            s.total,
+            s.done,
+            s.resumed,
+            s.failed,
+            s.timed_out,
+            s.retried,
+            s.completed()
+        ));
+        out.push_str(",\"running\":[");
+        for (j, key) in s.running.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_str_escaped(&mut out, key);
+        }
+        out.push(']');
+        out.push_str(",\"elapsed_secs\":");
+        out.push_str(&number(s.elapsed_secs));
+        out.push_str(",\"ewma_cell_secs\":");
+        out.push_str(&number(s.ewma_cell_secs));
+        out.push_str(",\"eta_secs\":");
+        out.push_str(&number(s.eta_secs));
+        out.push_str(",\"finished\":");
+        out.push_str(if s.finished { "true" } else { "false" });
+        out.push_str(",\"recent\":[");
+        for (j, (key, status, wall)) in s.recent.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"key\":");
+            push_str_escaped(&mut out, key);
+            out.push_str(",\"status\":");
+            push_str_escaped(&mut out, status.as_str());
+            out.push_str(",\"wall_secs\":");
+            out.push_str(&number(*wall));
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; tests share it, so every test uses
+    // a unique sweep name and asserts through its own handle.
+
+    #[test]
+    fn lifecycle_counts_and_eta() {
+        let h = sweep("t_lifecycle", 4);
+        h.cell_start("a");
+        h.cell_start("b");
+        let snap = h.snapshot();
+        assert_eq!(snap.running, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(snap.completed(), 0);
+        assert!(!snap.finished);
+
+        h.cell_finished("a", CellStatus::Done, Duration::from_millis(10));
+        let snap = h.snapshot();
+        assert_eq!(snap.done, 1);
+        assert_eq!(snap.running, vec!["b".to_string()]);
+        assert!(
+            snap.eta_secs > 0.0,
+            "3 cells remain after a completion: ETA must be nonzero"
+        );
+        assert!(snap.ewma_cell_secs > 0.0);
+
+        h.cell_finished("b", CellStatus::Failed, Duration::from_millis(5));
+        h.cell_finished("c", CellStatus::Resumed, Duration::ZERO);
+        h.cell_finished("d", CellStatus::TimedOut, Duration::from_millis(1));
+        let snap = h.snapshot();
+        assert_eq!(
+            (snap.done, snap.resumed, snap.failed, snap.timed_out),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(snap.completed(), 4);
+        assert_eq!(snap.eta_secs, 0.0, "nothing remains");
+
+        h.finish();
+        let snap = h.snapshot();
+        assert!(snap.finished);
+        assert!(snap.running.is_empty());
+    }
+
+    #[test]
+    fn eta_before_first_completion_uses_elapsed() {
+        let h = sweep("t_eta_cold", 10);
+        h.cell_start("only");
+        std::thread::sleep(Duration::from_millis(5));
+        let snap = h.snapshot();
+        assert!(
+            snap.eta_secs > 0.0,
+            "running cells but no completion: ETA falls back to elapsed, got {}",
+            snap.eta_secs
+        );
+    }
+
+    #[test]
+    fn retries_accumulate() {
+        let h = sweep("t_retry", 1);
+        h.cell_retried(0);
+        h.cell_retried(2);
+        h.cell_retried(1);
+        assert_eq!(h.snapshot().retried, 3);
+    }
+
+    #[test]
+    fn rerun_replaces_finished_sweep_of_same_name() {
+        let h1 = sweep("t_rerun", 2);
+        h1.cell_finished("x", CellStatus::Done, Duration::ZERO);
+        h1.finish();
+        let _h2 = sweep("t_rerun", 5);
+        let snaps: Vec<_> = snapshot()
+            .into_iter()
+            .filter(|s| s.name == "t_rerun")
+            .collect();
+        assert_eq!(snaps.len(), 1, "finished run replaced");
+        assert_eq!(snaps[0].total, 5);
+        assert_eq!(snaps[0].done, 0);
+    }
+
+    #[test]
+    fn live_sweep_of_same_name_is_not_clobbered() {
+        let h1 = sweep("t_live", 2);
+        h1.cell_start("going");
+        let _h2 = sweep("t_live", 3);
+        let snaps: Vec<_> = snapshot()
+            .into_iter()
+            .filter(|s| s.name == "t_live")
+            .collect();
+        assert_eq!(snaps.len(), 2, "live sweep survives re-registration");
+    }
+
+    #[test]
+    fn progress_json_is_well_formed() {
+        let h = sweep("t_json \"quoted\"", 3);
+        h.cell_start("cell/one");
+        h.cell_finished("cell/one", CellStatus::Done, Duration::from_millis(3));
+        let text = to_json();
+        assert!(text.starts_with("{\"schema_version\":1,\"sweeps\":["));
+        assert!(text.contains("\"t_json \\\"quoted\\\"\""), "{text}");
+        assert!(text.contains("\"status\":\"done\""));
+        assert!(text.ends_with("]}"));
+    }
+
+    #[test]
+    fn recent_list_is_bounded() {
+        let h = sweep("t_bounded", 1000);
+        for i in 0..100 {
+            h.cell_finished(&format!("c{i}"), CellStatus::Done, Duration::ZERO);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.recent.len(), RECENT_CAP);
+        assert_eq!(snap.recent.last().unwrap().0, "c99");
+        assert_eq!(snap.done, 100);
+    }
+}
